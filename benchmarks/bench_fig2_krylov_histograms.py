@@ -1,0 +1,40 @@
+"""Fig. 2: histograms of Krylov-vector values and exponents (atmosmodd).
+
+The paper's observation: the *values* of the Krylov basis vectors are
+normally distributed and uncorrelated (nothing for a predictor/transform
+to exploit), but the *exponents* concentrate on a few common values —
+the asymmetry FRSZ2's exponent-only decorrelation is built on.
+"""
+
+import numpy as np
+
+from repro.bench import format_histogram, krylov_histograms
+
+
+def test_fig2_value_and_exponent_histograms(benchmark, paper_report):
+    data = benchmark.pedantic(
+        krylov_histograms,
+        kwargs={"matrix": "atmosmodd", "iterations": (0, 10)},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    for j, (hist, edges, exp_vals, exp_counts) in sorted(data.items()):
+        centers = (edges[:-1] + edges[1:]) / 2
+        paper_report(
+            format_histogram(
+                f"Fig. 2 — Krylov vector values, atmosmodd, iteration {j}",
+                [f"{c:+.2e}" for c in centers],
+                hist,
+            )
+        )
+        paper_report(
+            format_histogram(
+                f"Fig. 2 — Krylov vector base-2 exponents, atmosmodd, iteration {j}",
+                exp_vals.tolist(),
+                exp_counts,
+            )
+        )
+        # the paper's asymmetry: few distinct exponents carry most values
+        top4 = np.sort(exp_counts)[-4:].sum()
+        assert top4 / exp_counts.sum() > 0.5

@@ -1,0 +1,119 @@
+"""Fig. 4: storage-format performance vs. arithmetic intensity (H100).
+
+Two complementary reproductions:
+
+* the **H100 model series** — the calibrated roofline/instruction model
+  predicting the published curves (who is fastest where, the frsz2_32 /
+  Acc<float32> gap, the frsz2_21 alignment penalty, the 99.6% bandwidth
+  figure, and the cuSZp2 comparison of claim 4);
+* **measured host throughput** — pytest-benchmark timings of the actual
+  NumPy codec streaming 2^24 values on this machine (the shape, not the
+  absolute numbers, is the comparable quantity).
+
+Also covers the Section IV-C index-arithmetic note: the model entry
+``frsz2_32 (64-bit idx)`` charges the extra integer work of 64-bit index
+computations the paper found "noticeably slower".
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_series, format_table
+from repro.core import FRSZ2
+from repro.gpu import (
+    DEFAULT_INTENSITIES,
+    H100_PCIE,
+    bandwidth_efficiency,
+    cuszp2_bandwidth_range,
+    format_cost,
+    frsz2_vs_cuszp2_speedup,
+    roofline_series,
+)
+from repro.gpu.kernels import KernelCost
+
+_N_MEASURED = 2**24
+
+
+def test_fig4_h100_model_series(benchmark, paper_report):
+    series = benchmark.pedantic(
+        roofline_series, rounds=1, iterations=1, warmup_rounds=0
+    )
+    table = {
+        name: [(p.arithmetic_intensity, p.gflops) for p in pts]
+        for name, pts in series.items()
+    }
+    paper_report(
+        format_series(
+            "Fig. 4 — modeled H100 performance (GFLOP/s) vs arithmetic intensity",
+            "flops/value",
+            table,
+            max_points=14,
+        )
+    )
+    # headline claims
+    lo, hi = frsz2_vs_cuszp2_speedup()
+    cus_lo, cus_hi = cuszp2_bandwidth_range()
+    paper_report(
+        format_table(
+            "Fig. 4 headline numbers",
+            ["quantity", "model", "paper"],
+            [
+                ("frsz2_32 bandwidth efficiency", f"{bandwidth_efficiency('Acc<frsz2_32>'):.1%}", "99.6%"),
+                ("frsz2_32 vs cuSZp2 (best case for cuSZp2)", f"{lo:.2f}x", "1.2x"),
+                ("frsz2_32 vs cuSZp2 (typical)", f"{hi:.2f}x", "3.1x"),
+                ("cuSZp2 modeled bandwidth range GB/s", f"{cus_lo/1e9:.0f}-{cus_hi/1e9:.0f}", "500-1241 (A100)"),
+            ],
+        )
+    )
+
+
+def test_fig4_index_arithmetic_ablation(benchmark, paper_report):
+    """Section IV-C opt. 4: 64-bit index computations are slower."""
+    fmt = format_cost("Acc<frsz2_32>")
+
+    def run():
+        rows = []
+        for label, extra in (("32-bit indices", 0), ("64-bit indices", 12)):
+            cost = KernelCost(
+                bytes_moved=_N_MEASURED * fmt.stored_bits / 8,
+                fp64_flops=_N_MEASURED * 1.0,
+                int_ops=_N_MEASURED * (fmt.decompress_ops + extra),
+                aligned=True,
+                bw_derate=fmt.bandwidth_derate,
+            )
+            t = cost.time_on(H100_PCIE)
+            rows.append((label, fmt.decompress_ops + extra, _N_MEASURED / t / 1e9))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    paper_report(
+        format_table(
+            "Fig. 4 ablation — index arithmetic width (model)",
+            ["variant", "ops/value", "Gvalues/s"],
+            rows,
+        )
+    )
+    assert rows[0][2] >= rows[1][2]
+
+
+@pytest.mark.parametrize("l", [16, 21, 32])
+def test_fig4_measured_decompression_throughput(benchmark, l):
+    """Host-measured decompression of the real codec (shape check)."""
+    rng = np.random.default_rng(l)
+    x = rng.standard_normal(_N_MEASURED // 8)  # keep CI time sane
+    codec = FRSZ2(l)
+    comp = codec.compress(x)
+    out = np.empty(x.size)
+    benchmark(codec.decompress, comp, out)
+    assert np.isfinite(out).all()
+
+
+def test_fig4_measured_float64_baseline(benchmark):
+    """Measured plain float64 read+op baseline for the same array size."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(_N_MEASURED // 8)
+
+    def stream():
+        return x * 1.000001
+
+    benchmark(stream)

@@ -1,0 +1,70 @@
+"""Fig. 5: atmosmodd convergence with absolute-error-bound compressors.
+
+Residual-norm development of CB-GMRES on atmosmodd with the Krylov basis
+stored as float64/float32/frsz2_32 and round-tripped through the
+absolute-bound comparator configurations (sz3_06/07/08, zfp_06, zfp_10).
+
+Paper shapes this reproduces: frsz2_32 tracks float64 closely and beats
+float32; none of the absolute-bound SZ3/ZFP settings match float32's
+convergence despite several using more bits per value.
+"""
+
+from repro.bench import convergence_histories, format_series, format_table
+from repro.solvers.problems import make_problem
+
+STORAGES = (
+    "float64",
+    "float32",
+    "frsz2_32",
+    "sz3_06",
+    "sz3_07",
+    "sz3_08",
+    "zfp_06",
+    "zfp_10",
+)
+
+_MAX_ITER = 1200
+
+
+def test_fig5_absolute_bound_convergence(benchmark, paper_report):
+    results = benchmark.pedantic(
+        convergence_histories,
+        args=("atmosmodd", STORAGES),
+        kwargs={"max_iter": _MAX_ITER},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    series = {
+        fmt: list(zip(*r.history_arrays()))
+        for fmt, r in results.items()
+    }
+    target = make_problem("atmosmodd").target_rrn
+    paper_report(
+        format_series(
+            f"Fig. 5 — atmosmodd residual norm, absolute-bound compressors "
+            f"(target {target:.0e})",
+            "iteration",
+            {k: [(int(i), float(v)) for i, v in pts] for k, pts in series.items()},
+            max_points=25,
+        )
+    )
+    rows = [
+        (fmt, r.iterations, r.final_rrn, "yes" if r.converged else "no",
+         r.stats.bits_per_value)
+        for fmt, r in results.items()
+    ]
+    paper_report(
+        format_table(
+            "Fig. 5 summary",
+            ["storage", "iterations", "final RRN", "converged", "bits/value"],
+            rows,
+        )
+    )
+    # the paper's quality ordering on atmosmodd
+    assert results["float64"].converged
+    assert results["frsz2_32"].converged
+    assert results["frsz2_32"].iterations <= results["float32"].iterations
+    for name in ("sz3_06", "zfp_06"):
+        r = results[name]
+        assert (not r.converged) or r.iterations > results["float32"].iterations

@@ -1,0 +1,86 @@
+"""Fig. 6: atmosmodd convergence with pointwise-relative error settings.
+
+The paper's finding: pointwise-relative bounds preserve value magnitudes
+and converge better than absolute bounds, but still none of the generic
+compressors matches float32; frsz2_32 has the best convergence of all
+tested compression techniques.
+"""
+
+from repro.bench import convergence_histories, format_series, format_table
+
+STORAGES = (
+    "float64",
+    "float32",
+    "frsz2_32",
+    "sz_pwrel_04",
+    "sz3_pwrel_04",
+    "zfp_fr_16",
+    "zfp_fr_32",
+)
+
+_MAX_ITER = 1200
+
+
+def test_fig6_pointwise_relative_convergence(benchmark, paper_report):
+    results = benchmark.pedantic(
+        convergence_histories,
+        args=("atmosmodd", STORAGES),
+        kwargs={"max_iter": _MAX_ITER},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    series = {
+        fmt: [(int(i), float(v)) for i, v in zip(*r.history_arrays())]
+        for fmt, r in results.items()
+    }
+    paper_report(
+        format_series(
+            "Fig. 6 — atmosmodd residual norm, pointwise-relative settings",
+            "iteration",
+            series,
+            max_points=25,
+        )
+    )
+    rows = [
+        (fmt, r.iterations, r.final_rrn, "yes" if r.converged else "no")
+        for fmt, r in results.items()
+    ]
+    paper_report(format_table("Fig. 6 summary", ["storage", "iterations", "final RRN", "converged"], rows))
+
+    # frsz2_32 beats every generic compressor (paper: "best convergence
+    # rate among all tested compression techniques")
+    frsz2_iters = results["frsz2_32"].iterations
+    for name in ("sz_pwrel_04", "sz3_pwrel_04", "zfp_fr_16", "zfp_fr_32"):
+        r = results[name]
+        assert (not r.converged) or r.iterations >= frsz2_iters
+
+
+def test_fig6_pwrel_beats_abs_for_convergence(benchmark, paper_report):
+    """Pointwise-relative SZ converges better than absolute-bound SZ at
+    comparable information budgets (the Fig. 5 vs Fig. 6 comparison)."""
+    results = benchmark.pedantic(
+        convergence_histories,
+        args=("atmosmodd", ("sz3_06", "sz3_pwrel_04")),
+        kwargs={"max_iter": _MAX_ITER},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    abs_r = results["sz3_06"]
+    rel_r = results["sz3_pwrel_04"]
+    rows = [
+        (k, r.iterations, r.final_rrn, "yes" if r.converged else "no")
+        for k, r in results.items()
+    ]
+    paper_report(
+        format_table(
+            "Fig. 5/6 — absolute vs pointwise-relative bound",
+            ["storage", "iterations", "final RRN", "converged"],
+            rows,
+        )
+    )
+    if rel_r.converged and abs_r.converged:
+        assert rel_r.iterations <= abs_r.iterations
+    else:
+        assert rel_r.final_rrn <= abs_r.final_rrn * 10

@@ -1,0 +1,43 @@
+"""Fig. 8: iterations to solution relative to float64 (0 = no convergence).
+
+Paper shapes this reproduces: on the atmosmod family float64 converges
+fastest, followed by frsz2_32, then float32, then float16 (frsz2_32 has
+the smallest iteration overhead of all compressed formats); PR02R is
+FRSZ2's worst case with a several-fold iteration increase; float16 shows
+zero (no convergence) on PR02R and StocF-1465.
+"""
+
+from repro.bench import FIG7_FORMATS, figure8_rows, format_table
+from repro.sparse import resolve_scale
+
+
+def test_fig8_iteration_ratios(benchmark, paper_report):
+    scale = resolve_scale()
+    rows = benchmark.pedantic(
+        figure8_rows, args=(scale,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    paper_report(
+        format_table(
+            f"Fig. 8 — iterations relative to float64 (scale={scale}; 0 = failed)",
+            ["matrix", "float64 iters"] + [f"{f}/f64" for f in FIG7_FORMATS],
+            rows,
+        )
+    )
+    by_name = {r[0]: r for r in rows}
+    col = {f: 2 + i for i, f in enumerate(FIG7_FORMATS)}
+
+    # atmosmod group ordering: f64 < frsz2_32 < float32 < float16
+    for name in ("atmosmodd", "atmosmodj", "atmosmodl", "atmosmodm"):
+        row = by_name[name]
+        assert row[col["float64"]] == 1.0
+        assert 1.0 < row[col["frsz2_32"]] < row[col["float32"]] < row[col["float16"]]
+
+    # PR02R: frsz2_32 converges with a several-fold iteration increase
+    pr = by_name["PR02R"]
+    assert pr[col["frsz2_32"]] > 3.0
+    assert pr[col["float16"]] == 0.0  # removed bar
+    assert by_name["StocF-1465"][col["float16"]] == 0.0
+
+    # everything else barely differs for frsz2_32 (< 2.5x)
+    for name in ("cfd2", "HV15R", "lung2", "parabolic_fem", "RM07R"):
+        assert 0.9 <= by_name[name][col["frsz2_32"]] < 2.5

@@ -1,0 +1,40 @@
+"""Table I: the computational-fluid-dynamics matrix suite.
+
+Regenerates the paper's Table I (matrix, size, non-zeros, target RRN)
+for the synthetic analogs at the active scale, alongside the paper's
+SuiteSparse numbers.  The benchmark measures suite-matrix assembly.
+"""
+
+import pytest
+
+from repro.bench import format_table, table1_rows
+from repro.sparse import build_matrix, resolve_scale
+
+
+def test_table1_matrix_suite(benchmark, paper_report):
+    scale = resolve_scale()
+    rows = benchmark.pedantic(
+        table1_rows, args=(scale,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    paper_report(
+        format_table(
+            f"Table I — CFD matrix suite (scale={scale})",
+            [
+                "matrix",
+                "size",
+                "non-zeros",
+                "paper size",
+                "paper nnz",
+                "target RRN",
+                "paper target RRN",
+            ],
+            rows,
+        )
+    )
+
+
+@pytest.mark.parametrize("name", ["atmosmodd", "PR02R", "StocF-1465"])
+def test_matrix_assembly_throughput(benchmark, name):
+    """Assembly speed of representative generators (CSR triplets/s)."""
+    a = benchmark(build_matrix, name, "smoke")
+    assert a.nnz > 0

@@ -1,0 +1,68 @@
+"""Table II: comparator-compressor configurations.
+
+Regenerates the configuration table and, beyond the paper, reports what
+each configuration actually does to a Krylov vector (achieved bound,
+bits per value) plus round-trip throughput of each compressor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, table2_rows
+from repro.compressors import TABLE_II, evaluate, make_compressor
+
+
+def krylov_like(n=32 * 2048, seed=7):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    return x / np.linalg.norm(x)
+
+
+def test_table2_configurations(benchmark, paper_report):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1, warmup_rounds=0)
+    paper_report(
+        format_table(
+            "Table II — compressor name and requested bounds",
+            ["name", "error-bound type", "error-bound"],
+            rows,
+        )
+    )
+
+
+def test_table2_achieved_quality(benchmark, paper_report):
+    """Measured bound satisfaction and storage cost on Krylov data."""
+    x = krylov_like()
+
+    def run():
+        rows = []
+        for name in sorted(TABLE_II) + ["frsz2_16", "frsz2_21", "frsz2_32"]:
+            r = evaluate(make_compressor(name), x)
+            rows.append(
+                (
+                    name,
+                    r.bits_per_value,
+                    r.compression_ratio,
+                    r.max_abs_error,
+                    r.max_pw_rel_error,
+                    "yes" if r.bound_satisfied else "NO",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    paper_report(
+        format_table(
+            "Table II (extended) — achieved quality on a Krylov vector",
+            ["name", "bits/value", "ratio", "max abs err", "max pw-rel err", "bound ok"],
+            rows,
+        )
+    )
+
+
+@pytest.mark.parametrize("name", ["sz3_08", "zfp_fr_32", "frsz2_32"])
+def test_compressor_roundtrip_throughput(benchmark, name):
+    """Round-trip (compress+decompress) throughput per configuration."""
+    x = krylov_like()
+    comp = make_compressor(name)
+    out = benchmark(comp.roundtrip, x)
+    assert out.shape == x.shape

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Study every Table II compressor on real Krylov-vector data.
+
+Captures actual Krylov basis vectors from an atmosmodd solve (the data
+of the paper's Fig. 2) and evaluates every registered compressor on
+them: bits/value, compression ratio, error bounds, PSNR.  Demonstrates
+the paper's Section III point — generic decorrelation buys nothing on
+uncorrelated Krylov data, while FRSZ2's exponent-only scheme does.
+
+Run:  python examples/compression_study.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table, krylov_vectors
+from repro.compressors import evaluate, list_compressors, make_compressor
+
+
+def main() -> None:
+    print("capturing Krylov vectors from an atmosmodd solve ...")
+    vectors = krylov_vectors("atmosmodd", iterations=(0, 10), scale="default")
+    for j, v in sorted(vectors.items()):
+        print(f"\nKrylov vector v_{j} (n={v.size}, ||v||={np.linalg.norm(v):.3f})")
+        rows = []
+        for name in list_compressors():
+            r = evaluate(make_compressor(name), v)
+            rows.append(
+                (
+                    name,
+                    f"{r.bits_per_value:.2f}",
+                    f"{r.compression_ratio:.2f}",
+                    f"{r.max_abs_error:.1e}",
+                    f"{r.psnr_db:.1f}",
+                    "yes" if r.bound_satisfied else "NO",
+                )
+            )
+        print(
+            format_table(
+                f"compressors on v_{j}",
+                ["compressor", "bits/value", "ratio", "max abs err", "PSNR dB", "bound ok"],
+                rows,
+            )
+        )
+    print("\nReading the table: the SZ-like configurations often *exceed* 64")
+    print("bits/value on this data (compression is counterproductive, paper")
+    print("Section III-A), ZFP's transform pays bits for nothing, while the")
+    print("FRSZ2 formats sit exactly at their fixed rate with the best")
+    print("error-per-bit — the design premise of the paper.")
+
+
+if __name__ == "__main__":
+    main()

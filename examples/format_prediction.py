@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Storage-format prediction — the paper's future-work feature (§VIII).
+
+For each Table I matrix analog, the predictor inspects the initial
+residual's exponent distribution (static screening) and speculatively
+probes the surviving candidates for convergence-per-modeled-second,
+"just before the first restart".  The script then verifies each
+recommendation against a full solve of every candidate.
+
+Run:  python examples/format_prediction.py   (REPRO_SCALE=smoke for speed)
+"""
+
+from repro.bench import format_table
+from repro.gpu import GmresTimingModel
+from repro.solvers import CbGmres, make_problem, predict_format
+
+
+def main() -> None:
+    matrices = ["atmosmodd", "cfd2", "lung2", "PR02R", "StocF-1465"]
+    model = GmresTimingModel()
+    rows = []
+    for name in matrices:
+        p = make_problem(name)
+        rec = predict_format(p.a, p.b)
+        # ground truth: modeled time of a full solve per candidate
+        best, best_t = None, float("inf")
+        for fmt in ("float64", "float32", "float16", "frsz2_32"):
+            r = CbGmres(p.a, fmt, stall_restarts=8).solve(p.b, p.target_rrn)
+            if r.converged:
+                t = model.time_result(r).total_seconds
+                if t < best_t:
+                    best, best_t = fmt, t
+        rejected = "; ".join(f"{k}: {v}" for k, v in rec.rejected.items()) or "-"
+        rows.append((name, rec.storage, best, rejected))
+        print(f"{name}: predicted {rec.storage}, actual best {best}")
+        if rec.rejected:
+            for fmt, reason in rec.rejected.items():
+                print(f"    screened out {fmt}: {reason}")
+    print()
+    print(
+        format_table(
+            "format prediction vs. ground truth",
+            ["matrix", "predicted", "actual best (modeled)", "static rejections"],
+            rows,
+        )
+    )
+    hits = sum(1 for r in rows if r[1] == r[2])
+    print(f"\n{hits}/{len(rows)} exact hits.")
+    print("The important wins are the rejections: PR02R screens out both")
+    print("frsz2_32 (mixed block exponents) and float16 (range) before")
+    print("spending a single full solve on them — the mechanism the paper")
+    print("proposes for choosing a format ahead of the first restart.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Why compressed bases cost iterations: orthogonality decay.
+
+CB-GMRES orthogonalizes each new direction against the *stored* (lossy)
+basis, so every compression error perturbs the Arnoldi recurrence.  This
+script instruments real solves and shows that the worst observed
+orthogonality loss of the stored basis orders the storage formats
+exactly like their iteration counts in the paper's Fig. 8 — the
+mechanism behind the whole evaluation.
+
+Run:  python examples/orthogonality_analysis.py   (REPRO_SCALE=smoke ok)
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.solvers import basis_perturbation, make_problem, trace_orthogonality
+
+
+def main() -> None:
+    p = make_problem("atmosmodd")
+    print(f"atmosmodd analog: n={p.a.n}, target RRN {p.target_rrn:.0e}\n")
+    rng = np.random.default_rng(0)
+    v = rng.standard_normal(p.a.n)
+    v /= np.linalg.norm(v)
+
+    rows = []
+    for fmt in ("float64", "frsz2_32", "float32", "float16"):
+        trace = trace_orthogonality(p.a, p.b, fmt, p.target_rrn, sample_every=5)
+        rows.append(
+            (
+                fmt,
+                f"{basis_perturbation(fmt, v):.2e}",
+                f"{trace.worst_orthogonality:.2e}",
+                f"{trace.worst_norm_drift:.2e}",
+                trace.result.iterations,
+            )
+        )
+    print(
+        format_table(
+            "basis perturbation -> orthogonality loss -> iterations",
+            [
+                "storage",
+                "per-write error",
+                "worst max|v_i.v_j|",
+                "worst norm drift",
+                "iterations",
+            ],
+            rows,
+        )
+    )
+    print()
+    print("Each column orders identically: the compression error injected at")
+    print("each basis write bounds the orthogonality the Arnoldi process can")
+    print("maintain, and that determines the extra iterations each format")
+    print("pays (the paper's Fig. 8).  frsz2_32's externalized block exponent")
+    print("buys ~2 decades of orthogonality over float32 at ~same storage.")
+
+
+if __name__ == "__main__":
+    main()

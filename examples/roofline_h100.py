@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""H100 roofline study of the storage formats (paper Fig. 4).
+
+Prints the modeled performance of each storage format across arithmetic
+intensities, the bandwidth-efficiency headline (99.6% for frsz2_32), and
+the cuSZp2 comparison, plus the instruction budget the design must fit
+(Section I's 46-operation calculation).
+
+Run:  python examples/roofline_h100.py
+"""
+
+from repro.bench import format_series, format_table
+from repro.gpu import (
+    H100_PCIE,
+    bandwidth_efficiency,
+    format_cost,
+    frsz2_vs_cuszp2_speedup,
+    roofline_series,
+)
+from repro.gpu.warp import measured_instruction_counts
+
+
+def main() -> None:
+    print(f"device: {H100_PCIE.name} — {H100_PCIE.mem_bandwidth/1e12:.1f} TB/s, "
+          f"{H100_PCIE.fp64_flops/1e12:.1f} FP64 TFLOP/s")
+    print(f"flops per double read: {H100_PCIE.flops_per_double_read:.0f} "
+          f"(the paper's ~100:1 headline)")
+    print(f"spare ops at 32 stored bits: "
+          f"{H100_PCIE.spare_ops_budget(32):.0f} (the paper's ~46)")
+    comp, dec = measured_instruction_counts(32)
+    print(f"measured on the SIMT warp executor: compress {comp} ops/value, "
+          f"decompress {dec} ops/value -> fits the budget\n")
+
+    series = roofline_series()
+    table = {
+        name: [(p.arithmetic_intensity, round(p.gflops, 1)) for p in pts]
+        for name, pts in series.items()
+    }
+    print(
+        format_series(
+            "Fig. 4 — modeled H100 performance (GFLOP/s) vs arithmetic intensity",
+            "flops/value",
+            table,
+            max_points=14,
+        )
+    )
+
+    rows = []
+    for name in ("float64", "Acc<float32>", "Acc<frsz2_16>", "Acc<frsz2_21>", "Acc<frsz2_32>"):
+        fmt = format_cost(name)
+        rows.append(
+            (
+                name,
+                f"{fmt.stored_bits:.2f}",
+                fmt.decompress_ops,
+                "aligned" if fmt.aligned else "straddling",
+                f"{bandwidth_efficiency(name):.1%}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            "storage-format cost profiles",
+            ["format", "bits/value", "decode ops", "layout", "bandwidth eff."],
+            rows,
+        )
+    )
+    lo, hi = frsz2_vs_cuszp2_speedup()
+    print(f"\nfrsz2_32 vs cuSZp2 at the roofline: {lo:.2f}x - {hi:.2f}x "
+          f"(paper claim: 1.2x - 3.1x)")
+
+
+if __name__ == "__main__":
+    main()

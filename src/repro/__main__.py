@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Show the matrix suite, storage formats and compressor registry.
+solve MATRIX
+    Run CB-GMRES on a Table I analog with chosen basis storage.
+compress
+    Compress a ``.npy`` float64 array (or random data) with any
+    registered compressor and report quality/size.
+experiment ID
+    Regenerate a paper table/figure (table1, table2, fig2, fig4, fig7,
+    fig8, fig10, fig11) on the terminal.
+calibrate
+    Run the Section V-C target-accuracy calibration over the suite.
+predict MATRIX
+    Recommend a basis storage format (the §VIII future-work predictor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_list(args) -> int:
+    from .accessor import list_storage_formats
+    from .bench import format_table
+    from .compressors import list_compressors
+    from .sparse import SUITE, suite_names
+
+    rows = [
+        (n, SUITE[n].paper_size, SUITE[n].paper_nnz, SUITE[n].description)
+        for n in suite_names()
+    ]
+    print(format_table("matrix suite (Table I analogs)", ["name", "paper size", "paper nnz", "description"], rows))
+    print()
+    print("Krylov-basis storage formats:", ", ".join(list_storage_formats()))
+    print("compressor registry:", ", ".join(list_compressors()))
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from .gpu import GmresTimingModel
+    from .solvers import CbGmres, FlexibleGmres, JacobiPreconditioner, make_problem
+
+    p = make_problem(args.matrix, args.scale)
+    target = args.target if args.target is not None else p.target_rrn
+    prec = JacobiPreconditioner(p.a) if args.jacobi else None
+    solver_cls = FlexibleGmres if args.solver == "fgmres" else CbGmres
+    solver = solver_cls(
+        p.a, args.storage, m=args.restart, max_iter=args.max_iter, preconditioner=prec
+    )
+    res = solver.solve(p.b, target)
+    status = "converged" if res.converged else ("stalled" if res.stalled else "hit cap")
+    print(f"{args.matrix} (n={p.a.n}, nnz={p.a.nnz}) with {args.storage} basis:")
+    print(f"  {status} after {res.iterations} iterations "
+          f"({res.stats.restarts} restarts)")
+    print(f"  final RRN {res.final_rrn:.3e} (target {target:.1e})")
+    print(f"  basis footprint {res.stats.bits_per_value:.1f} bits/value")
+    t = GmresTimingModel().time_result(res)
+    print(f"  modeled H100 time {t.total_seconds * 1e3:.2f} ms "
+          f"(spmv {t.spmv_seconds*1e3:.2f}, basis reads {t.basis_read_seconds*1e3:.2f}, "
+          f"writes {t.basis_write_seconds*1e3:.2f})")
+    return 0 if res.converged else 1
+
+
+def _cmd_compress(args) -> int:
+    from .compressors import evaluate, make_compressor
+
+    if args.input:
+        x = np.load(args.input).astype(np.float64).ravel()
+    else:
+        rng = np.random.default_rng(args.seed)
+        x = rng.standard_normal(args.n)
+        x /= np.linalg.norm(x)
+    r = evaluate(make_compressor(args.format), x)
+    print(f"{r.compressor} on {r.n} values:")
+    print(f"  {r.bits_per_value:.2f} bits/value (ratio {r.compression_ratio:.2f}x)")
+    print(f"  max abs error {r.max_abs_error:.3e}")
+    print(f"  max pointwise-relative error {r.max_pw_rel_error:.3e}")
+    print(f"  PSNR {r.psnr_db:.1f} dB")
+    print(f"  declared bound satisfied: {r.bound_satisfied}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .bench import (
+        FIG7_FORMATS,
+        figure7_rows,
+        figure8_rows,
+        figure11_rows,
+        format_histogram,
+        format_series,
+        format_table,
+        krylov_histograms,
+        matrix_exponent_histogram,
+        table1_rows,
+        table2_rows,
+    )
+
+    ident = args.id.lower()
+    if ident == "table1":
+        print(format_table(
+            "Table I", ["matrix", "size", "nnz", "paper size", "paper nnz", "target", "paper target"],
+            table1_rows(args.scale)))
+    elif ident == "table2":
+        print(format_table("Table II", ["name", "bound type", "bound"], table2_rows()))
+    elif ident == "fig2":
+        for j, (hist, edges, ev, ec) in sorted(krylov_histograms(scale=args.scale).items()):
+            print(format_histogram(f"values, iteration {j}",
+                                   [f"{c:+.2e}" for c in (edges[:-1] + edges[1:]) / 2], hist))
+            print(format_histogram(f"exponents, iteration {j}", ev.tolist(), ec))
+    elif ident == "fig4":
+        from .gpu import roofline_series
+
+        series = roofline_series()
+        print(format_series(
+            "Fig. 4 (modeled H100 GFLOP/s)", "flops/value",
+            {k: [(p.arithmetic_intensity, p.gflops) for p in v] for k, v in series.items()},
+            max_points=14))
+    elif ident == "fig7":
+        print(format_table("Fig. 7", ["matrix", "target"] + list(FIG7_FORMATS),
+                           figure7_rows(args.scale)))
+    elif ident == "fig8":
+        print(format_table("Fig. 8", ["matrix", "f64 iters"] + [f"{f}/f64" for f in FIG7_FORMATS],
+                           figure8_rows(args.scale)))
+    elif ident == "fig10":
+        edges, hist = matrix_exponent_histogram(scale=args.scale)
+        print(format_histogram("Fig. 10 (PR02R exponents)", [int(e) for e in edges], hist))
+    elif ident == "fig11":
+        s = figure11_rows(args.scale)
+        print(format_table("Fig. 11", ["matrix"] + list(FIG7_FORMATS), s.per_matrix))
+        print(format_table("Fig. 11 averages", ["format", "mean", "mean w/o PR02R"],
+                           [(f, s.mean_speedup[f], s.mean_speedup_without_pr02r[f])
+                            for f in FIG7_FORMATS]))
+    else:
+        print(f"unknown experiment {args.id!r}; see python -m repro experiment --help",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from .bench import format_table
+    from .solvers import calibrate_suite
+
+    results = calibrate_suite(scale=args.scale, max_iter=args.max_iter)
+    rows = [
+        (name, c.iterations, c.achieved_rrn, c.target_rrn)
+        for name, c in results.items()
+    ]
+    print(format_table(
+        "Section V-C calibration (float64 reference solves)",
+        ["matrix", "iterations", "achieved RRN", "suggested target"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .solvers import make_problem, predict_format
+
+    p = make_problem(args.matrix, args.scale)
+    rec = predict_format(p.a, p.b)
+    print(f"recommended storage for {args.matrix}: {rec.storage}")
+    print(f"  features: frsz2 block-kill fraction {rec.features.frsz2_kill_fraction:.1%}, "
+          f"float16 range loss {rec.features.float16_loss_fraction:.1%}, "
+          f"{rec.features.exponent_concentration} exponents cover 90% of values")
+    for fmt, reason in rec.rejected.items():
+        print(f"  screened out {fmt}: {reason}")
+    for fmt, score in sorted(rec.probe_scores.items(), key=lambda kv: -kv[1]):
+        print(f"  probe score {fmt}: {score:.3g} (residual decades per modeled second)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FRSZ2 / CB-GMRES reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show matrices, storage formats, compressors")
+
+    p = sub.add_parser("solve", help="run CB-GMRES on a suite matrix")
+    p.add_argument("matrix")
+    p.add_argument("--storage", default="frsz2_32")
+    p.add_argument("--scale", default=None, choices=[None, "smoke", "default", "paper"])
+    p.add_argument("--target", type=float, default=None)
+    p.add_argument("--restart", type=int, default=100)
+    p.add_argument("--max-iter", type=int, default=20_000)
+    p.add_argument("--jacobi", action="store_true", help="apply a Jacobi preconditioner")
+    p.add_argument("--solver", default="cb", choices=["cb", "fgmres"],
+                   help="cb = CB-GMRES (compress V); fgmres = ref [17] (compress Z)")
+
+    p = sub.add_parser("compress", help="evaluate a compressor on data")
+    p.add_argument("--format", default="frsz2_32")
+    p.add_argument("--input", default=None, help=".npy file of float64 values")
+    p.add_argument("--n", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", help="table1|table2|fig2|fig4|fig7|fig8|fig10|fig11")
+    p.add_argument("--scale", default=None)
+
+    p = sub.add_parser("calibrate", help="run the Section V-C calibration")
+    p.add_argument("--scale", default=None)
+    p.add_argument("--max-iter", type=int, default=2000)
+
+    p = sub.add_parser("predict", help="recommend a basis storage format")
+    p.add_argument("matrix")
+    p.add_argument("--scale", default=None)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "solve": _cmd_solve,
+    "compress": _cmd_compress,
+    "experiment": _cmd_experiment,
+    "calibrate": _cmd_calibrate,
+    "predict": _cmd_predict,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

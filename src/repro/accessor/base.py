@@ -1,0 +1,111 @@
+"""The Accessor interface: decouple storage format from arithmetic format.
+
+Ginkgo's *Accessor* (paper refs [1], [9]) lets memory-bound kernels store
+data in a reduced format while performing all arithmetic in IEEE double
+precision.  Reads decompress to ``float64``; writes compress.  The paper
+plugs FRSZ2 decompression into this interface unchanged ("the same
+interface is used for reading and decompressing data in FRSZ2"), while
+compression bypasses it because it needs the whole block at once
+(Section IV-C).
+
+We reproduce that split: :meth:`VectorAccessor.read` has per-element
+random-access semantics, while :meth:`VectorAccessor.write` always takes
+the full vector (the CB-GMRES access pattern — each Krylov vector is
+produced once, whole).
+
+Accessors also keep a :class:`TrafficCounter` recording the *stored*
+bytes that the corresponding GPU kernel would move, which feeds the
+end-to-end timing model (:mod:`repro.gpu.timing`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrafficCounter", "VectorAccessor"]
+
+
+@dataclass
+class TrafficCounter:
+    """Bytes the storage format moves to/from (simulated) main memory."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.reads = 0
+        self.writes = 0
+
+    def merge(self, other: "TrafficCounter") -> None:
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.reads += other.reads
+        self.writes += other.writes
+
+
+class VectorAccessor(abc.ABC):
+    """A length-``n`` float64 vector held in a reduced storage format.
+
+    Subclasses implement the storage behaviour; arithmetic users only see
+    float64 arrays.  ``name`` is the storage-format label used throughout
+    the paper's plots (``float64``, ``float32``, ``frsz2_32``, ...).
+    """
+
+    #: storage-format label; subclasses override
+    name: str = "abstract"
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("vector length must be non-negative")
+        self.n = int(n)
+        self.traffic = TrafficCounter()
+
+    # -- storage interface -------------------------------------------------
+
+    @abc.abstractmethod
+    def write(self, values: np.ndarray) -> None:
+        """Store the full vector (compressing as needed)."""
+
+    @abc.abstractmethod
+    def read(self) -> np.ndarray:
+        """Return the stored vector decompressed to float64."""
+
+    @abc.abstractmethod
+    def stored_nbytes(self) -> int:
+        """Bytes this vector occupies in (simulated) device memory."""
+
+    # -- derived helpers ----------------------------------------------------
+
+    @property
+    def bits_per_value(self) -> float:
+        """Average stored bits per value (storage-format footprint)."""
+        return self.stored_nbytes() * 8 / self.n if self.n else 0.0
+
+    def _check_write(self, values: np.ndarray) -> np.ndarray:
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if values.shape != (self.n,):
+            raise ValueError(
+                f"expected shape ({self.n},), got {values.shape}"
+            )
+        return values
+
+    def _record_write(self) -> None:
+        self.traffic.bytes_written += self.stored_nbytes()
+        self.traffic.writes += 1
+
+    def _record_read(self) -> None:
+        self.traffic.bytes_read += self.stored_nbytes()
+        self.traffic.reads += 1
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} n={self.n}>"

@@ -1,0 +1,94 @@
+"""Reduced-precision storage accessors: float64 / float32 / float16.
+
+These reproduce the original CB-GMRES storage formats of [1]: values are
+cast to the storage precision on write and promoted back to float64 on
+read, while all arithmetic stays in double precision.  ``float64`` is the
+identity format (the uncompressed baseline of every experiment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import VectorAccessor
+
+__all__ = ["PrecisionAccessor", "Float64Accessor", "Float32Accessor", "Float16Accessor"]
+
+
+class PrecisionAccessor(VectorAccessor):
+    """Store in ``storage_dtype``, read back as float64."""
+
+    storage_dtype = np.float64
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._data = np.zeros(n, dtype=self.storage_dtype)
+
+    def write(self, values: np.ndarray) -> None:
+        values = self._check_write(values)
+        # NumPy casts with round-to-nearest-even, matching GPU converts.
+        self._data = values.astype(self.storage_dtype)
+        self._record_write()
+
+    def read(self) -> np.ndarray:
+        self._record_read()
+        return self._data.astype(np.float64)
+
+    def stored_nbytes(self) -> int:
+        return self.n * np.dtype(self.storage_dtype).itemsize
+
+
+class Float64Accessor(PrecisionAccessor):
+    """Uncompressed double-precision storage (the GMRES baseline)."""
+
+    name = "float64"
+    storage_dtype = np.float64
+
+    def read(self) -> np.ndarray:
+        self._record_read()
+        return self._data.copy()
+
+
+class Float32Accessor(PrecisionAccessor):
+    """IEEE single-precision storage (CB-GMRES float32 of [1]).
+
+    Finite doubles beyond float32 range overflow to inf on cast; CB-GMRES
+    never produces them (Krylov vectors are normalized), but we surface
+    the event rather than silently propagating inf.
+    """
+
+    name = "float32"
+    storage_dtype = np.float32
+
+    def write(self, values: np.ndarray) -> None:
+        values = self._check_write(values)
+        with np.errstate(over="ignore"):
+            data = values.astype(np.float32)
+        if not np.all(np.isfinite(data[np.isfinite(values)])):
+            raise OverflowError("value exceeds float32 range")
+        self._data = data
+        self._record_write()
+
+
+class Float16Accessor(PrecisionAccessor):
+    """IEEE half-precision storage (CB-GMRES float16 of [1]).
+
+    Values beyond the ~6.5e4 half range saturate to the largest finite
+    half instead of inf: this mirrors Ginkgo's saturating conversion and
+    keeps the solver running (it then simply fails to converge, which is
+    the behaviour Fig. 7 reports for PR02R and StocF-1465).
+    """
+
+    name = "float16"
+    storage_dtype = np.float16
+
+    def write(self, values: np.ndarray) -> None:
+        values = self._check_write(values)
+        with np.errstate(over="ignore"):
+            data = values.astype(np.float16)
+        over = np.isinf(data) & np.isfinite(values)
+        if np.any(over):
+            limit = np.float16(np.finfo(np.float16).max)
+            data[over] = np.where(values[over] > 0, limit, -limit)
+        self._data = data
+        self._record_write()

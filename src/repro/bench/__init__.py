@@ -1,0 +1,36 @@
+"""Benchmark harness: experiment drivers and plain-text report rendering
+for every table and figure of the paper's evaluation section."""
+
+from .experiments import (
+    FIG7_FORMATS,
+    convergence_histories,
+    figure7_rows,
+    figure8_rows,
+    figure11_rows,
+    format_sweep,
+    krylov_histograms,
+    krylov_vectors,
+    matrix_exponent_histogram,
+    solve_with_storage,
+    table1_rows,
+    table2_rows,
+)
+from .report import format_histogram, format_series, format_table
+
+__all__ = [
+    "FIG7_FORMATS",
+    "convergence_histories",
+    "figure7_rows",
+    "figure8_rows",
+    "figure11_rows",
+    "format_sweep",
+    "krylov_histograms",
+    "krylov_vectors",
+    "matrix_exponent_histogram",
+    "solve_with_storage",
+    "table1_rows",
+    "table2_rows",
+    "format_histogram",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,82 @@
+"""Plain-text rendering of tables, series and histograms.
+
+Every benchmark regenerates a paper table or figure; since the harness
+is terminal-based, figures are rendered as aligned numeric series and
+text histograms.  All functions return the formatted string (callers
+decide where it goes) — the benchmark conftest routes them to the
+pytest terminal summary and to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "format_histogram"]
+
+
+def _fmt_cell(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if math.isnan(v):
+            return "-"
+        a = abs(v)
+        if a >= 1e5 or a < 1e-3:
+            return f"{v:.2e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Aligned ASCII table with a title rule."""
+    cells = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    max_points: int = 40,
+) -> str:
+    """Render named (x, y) series as a merged table, downsampling long
+    series evenly so convergence histories stay readable."""
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    if len(xs) > max_points:
+        idx = [int(i * (len(xs) - 1) / (max_points - 1)) for i in range(max_points)]
+        xs = [xs[i] for i in sorted(set(idx))]
+    headers = [x_label] + list(series)
+    lookup = {name: dict(pts) for name, pts in series.items()}
+    rows = []
+    for x in xs:
+        row = [x]
+        for name in series:
+            row.append(lookup[name].get(x, float("nan")))
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def format_histogram(
+    title: str,
+    bin_labels: Sequence,
+    counts: Sequence[float],
+    width: int = 50,
+) -> str:
+    """Text bar chart (used for the Fig. 2 / Fig. 10 histograms)."""
+    peak = max(counts) if len(counts) else 1
+    lines = [f"== {title} =="]
+    lwidth = max((len(_fmt_cell(b)) for b in bin_labels), default=1)
+    for label, count in zip(bin_labels, counts):
+        bar = "#" * (int(count / peak * width) if peak else 0)
+        lines.append(f"{_fmt_cell(label).rjust(lwidth)} | {bar} {int(count)}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Comparator compressors (SZ-like, ZFP-like) behind a LibPressio-style
+registry, plus quality/size metrics.
+
+These reproduce the error-injection role the paper gives SZ/SZ3/ZFP in
+Section V-D: CB-GMRES compresses and immediately decompresses Krylov
+vectors through this interface to study information loss without GPU
+implementations of each scheme.
+"""
+
+from .base import CompressedBuffer, Compressor, ErrorBoundMode
+from .metrics import CompressionReport, evaluate
+from .cuszplike import CuSZpLike
+from .pressio import (
+    EXTRA_CONFIGS,
+    FRSZ2_CONFIGS,
+    TABLE_II,
+    CompressorSpec,
+    Frsz2CompressorAdapter,
+    list_compressors,
+    make_compressor,
+)
+from .szlike import SZLike
+from .zfplike import ZFPLike
+
+__all__ = [
+    "CompressedBuffer",
+    "Compressor",
+    "ErrorBoundMode",
+    "CompressionReport",
+    "evaluate",
+    "SZLike",
+    "ZFPLike",
+    "CuSZpLike",
+    "EXTRA_CONFIGS",
+    "CompressorSpec",
+    "TABLE_II",
+    "FRSZ2_CONFIGS",
+    "Frsz2CompressorAdapter",
+    "list_compressors",
+    "make_compressor",
+]

@@ -1,0 +1,100 @@
+"""Compressor interface and error-bound modes (LibPressio-style).
+
+The paper evaluates SZ, SZ3 and ZFP purely as *error injectors*: Krylov
+vectors are compressed and immediately decompressed through LibPressio
+(Section V-D) so the information loss — not the GPU speed — of each
+scheme enters CB-GMRES.  This module defines the common interface our
+from-scratch comparator compressors implement, mirroring LibPressio's
+compressor/options/metrics split.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = ["ErrorBoundMode", "CompressedBuffer", "Compressor"]
+
+
+class ErrorBoundMode(enum.Enum):
+    """Error-bound families of Table II."""
+
+    #: |x - x'| <= bound for every value
+    ABSOLUTE = "absolute"
+    #: x(1-eps) <= x' <= x(1+eps) pointwise (paper Section VI-A)
+    POINTWISE_RELATIVE = "relative"
+    #: fixed bits per value, error falls where it may (ZFP fixed-rate)
+    FIXED_RATE = "fixed rate"
+
+
+@dataclass
+class CompressedBuffer:
+    """Opaque compressed representation plus size accounting.
+
+    ``streams`` maps stream names to byte payloads (e.g. Huffman bits,
+    outlier values, block exponents); ``meta`` holds small header fields.
+    ``nbytes`` — the honest compressed size including all streams and the
+    header — is what the bits-per-value numbers in the paper's discussion
+    (e.g. "sz3_08 uses 46 bits per value") correspond to.
+    """
+
+    compressor: str
+    n: int
+    streams: Dict[str, bytes] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    header_nbytes: int = 16
+
+    @property
+    def nbytes(self) -> int:
+        return self.header_nbytes + sum(len(v) for v in self.streams.values())
+
+    @property
+    def bits_per_value(self) -> float:
+        return self.nbytes * 8 / self.n if self.n else 0.0
+
+
+class Compressor(abc.ABC):
+    """A lossy floating-point compressor.
+
+    Implementations must be deterministic and must honour their declared
+    error bound (verified by the test suite across the whole input
+    domain they accept).
+    """
+
+    #: registry key, e.g. ``"szlike"``
+    kind: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def mode(self) -> ErrorBoundMode:
+        """The error-bound family this instance is configured for."""
+
+    @abc.abstractmethod
+    def compress(self, x: np.ndarray) -> CompressedBuffer:
+        """Compress a 1-D float64 array."""
+
+    @abc.abstractmethod
+    def decompress(self, buf: CompressedBuffer) -> np.ndarray:
+        """Reconstruct the float64 array from a compressed buffer."""
+
+    def roundtrip(self, x: np.ndarray) -> np.ndarray:
+        """Compress then decompress — the Section V-D injection path."""
+        return self.decompress(self.compress(x))
+
+    def roundtrip_with_size(self, x: np.ndarray) -> "tuple[np.ndarray, int]":
+        """Round trip returning (reconstruction, compressed bytes)."""
+        buf = self.compress(x)
+        return self.decompress(buf), buf.nbytes
+
+    @staticmethod
+    def _check_input(x: np.ndarray) -> np.ndarray:
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError("compressors operate on 1-D arrays")
+        if not np.all(np.isfinite(x)):
+            raise ValueError("non-finite values are not supported")
+        return x

@@ -1,0 +1,158 @@
+"""cuSZp2-like block-parallel lossy compressor (from scratch).
+
+cuSZp2 (paper ref [7]) is the fastest published general GPU compressor
+and the paper's main throughput comparator ("1.2~3.1x" slower than
+FRSZ2 at the roofline).  Its design is block-parallel so every CUDA
+block works independently: quantize to an error-bound lattice, delta
+(Lorenzo) predict *within* a fixed-size block, then store each block's
+residuals with a fixed per-block bit width chosen from the block's
+largest residual.
+
+This reproduction follows that scheme:
+
+* absolute bound ``eb``: lattice ``X = round(x / (2 eb))``;
+* per 32-value block: zig-zag-encoded first-order deltas (the block's
+  first lattice value is the anchor, stored raw);
+* per-block header: one byte holding the field width ``w`` =
+  bits of the largest zig-zag residual; payload = 32 ``w``-bit fields;
+* values whose lattice magnitude overflows the exact-integer range are
+  outliers stored raw.
+
+Unlike FRSZ2 this format is *variable rate* (width per block), which is
+exactly why it cannot be randomly accessed cheaply inside CB-GMRES and
+why its decompression needs a within-block prefix scan — the structural
+reasons the paper gives for designing FRSZ2 instead.
+
+All stages are vectorized; a strict decode path reconstructs from the
+packed streams alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core import bitpack
+from .base import CompressedBuffer, Compressor, ErrorBoundMode
+
+__all__ = ["CuSZpLike", "BLOCK"]
+
+#: values per independent block (cuSZp2 uses 32-value thread blocks)
+BLOCK = 32
+
+_LATTICE_LIMIT = np.int64(1) << np.int64(52)
+
+
+def _zigzag(v: np.ndarray) -> np.ndarray:
+    """Map signed int64 to unsigned: 0,-1,1,-2,... -> 0,1,2,3,..."""
+    return ((v << 1) ^ (v >> 63)).astype(np.uint64)
+
+
+def _unzigzag(u: np.ndarray) -> np.ndarray:
+    v = u.astype(np.int64)
+    return (v >> 1) ^ -(v & 1)
+
+
+def _bit_width(u: np.ndarray) -> np.ndarray:
+    """Bits needed per value (0 for zero)."""
+    from ..core.ieee754 import highest_set_bit
+
+    return (highest_set_bit(u) + 1).astype(np.int64)
+
+
+class CuSZpLike(Compressor):
+    """Block-parallel fixed-width delta compressor (cuSZp2 analog)."""
+
+    kind = "cuszplike"
+
+    def __init__(self, error_bound: float) -> None:
+        if error_bound <= 0:
+            raise ValueError("error_bound must be positive")
+        self.error_bound = float(error_bound)
+
+    @property
+    def mode(self) -> ErrorBoundMode:
+        return ErrorBoundMode.ABSOLUTE
+
+    # ------------------------------------------------------------------
+
+    def compress(self, x: np.ndarray) -> CompressedBuffer:
+        x = self._check_input(x)
+        name = f"cuszp(abs={self.error_bound:g})"
+        n = x.size
+        if n == 0:
+            return CompressedBuffer(compressor=name, n=0)
+        step = 2.0 * self.error_bound
+        lat_f = np.round(x / step)
+        outlier = ~(np.abs(lat_f) < float(_LATTICE_LIMIT))
+        lat = np.where(outlier, 0.0, lat_f).astype(np.int64)
+
+        nb = -(-n // BLOCK)
+        padded = np.zeros(nb * BLOCK, dtype=np.int64)
+        padded[:n] = lat
+        blocks = padded.reshape(nb, BLOCK)
+        # block anchors live in their own stream (cuSZp keeps per-block
+        # offset info separately so blocks decode independently); the
+        # payload holds the BLOCK-1 within-block Lorenzo deltas
+        anchors = blocks[:, 0].copy()
+        deltas = blocks[:, 1:] - blocks[:, :-1]
+        zz = _zigzag(deltas.reshape(-1)).reshape(nb, BLOCK - 1)
+        widths = _bit_width(np.uint64(0) + zz.max(axis=1))  # per block
+
+        per_field_width = np.repeat(widths, BLOCK - 1)
+        active = per_field_width > 0
+        starts = np.concatenate([[0], np.cumsum(per_field_width)[:-1]])
+        total_bits = int(per_field_width.sum())
+        words = np.zeros(bitpack.words_needed(total_bits), dtype=np.uint32)
+        if np.any(active):
+            bitpack.pack_at(
+                words, starts[active], zz.reshape(-1)[active], per_field_width[active]
+            )
+        streams: Dict[str, bytes] = {
+            "payload": words.tobytes(),
+            "widths": widths.astype(np.uint8).tobytes(),
+            "anchors": anchors.astype(np.int64).tobytes(),
+            "outliers": x[outlier].astype(np.float64).tobytes(),
+            "outlier_idx": np.flatnonzero(outlier).astype(np.int64).tobytes(),
+        }
+        meta = {
+            "widths": widths,
+            "outlier_mask": outlier,
+            "outlier_values": x[outlier],
+            "_lattice_cache": lat,
+        }
+        return CompressedBuffer(compressor=name, n=n, streams=streams, meta=meta)
+
+    def decompress(self, buf: CompressedBuffer, strict: bool = False) -> np.ndarray:
+        """Reconstruct; ``strict=True`` decodes from the packed streams
+        (cache-free), proving the format is self-describing."""
+        if buf.n == 0:
+            return np.zeros(0)
+        n = buf.n
+        if strict or "_lattice_cache" not in buf.meta:
+            widths = np.frombuffer(buf.streams["widths"], dtype=np.uint8).astype(np.int64)
+            nb = widths.size
+            anchors = np.frombuffer(buf.streams["anchors"], dtype=np.int64)
+            words = np.frombuffer(buf.streams["payload"], dtype=np.uint32)
+            per_field_width = np.repeat(widths, BLOCK - 1)
+            starts = np.concatenate([[0], np.cumsum(per_field_width)[:-1]])
+            active = per_field_width > 0
+            zz = np.zeros(nb * (BLOCK - 1), dtype=np.uint64)
+            if np.any(active):
+                zz[active] = bitpack.unpack_at(
+                    words, starts[active], per_field_width[active]
+                )
+            full = np.empty((nb, BLOCK), dtype=np.int64)
+            full[:, 0] = anchors
+            full[:, 1:] = _unzigzag(zz).reshape(nb, BLOCK - 1)
+            lat = np.cumsum(full, axis=1).reshape(-1)[:n]
+            out_idx = np.frombuffer(buf.streams["outlier_idx"], dtype=np.int64)
+            out_val = np.frombuffer(buf.streams["outliers"], dtype=np.float64)
+        else:
+            lat = buf.meta["_lattice_cache"]
+            out_idx = np.flatnonzero(buf.meta["outlier_mask"])
+            out_val = buf.meta["outlier_values"]
+        x = lat.astype(np.float64) * (2.0 * self.error_bound)
+        x[out_idx] = out_val
+        return x

@@ -1,0 +1,113 @@
+"""Compression quality and size metrics (LibPressio-metrics analog)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import CompressedBuffer, Compressor, ErrorBoundMode
+
+__all__ = [
+    "max_abs_error",
+    "max_pointwise_relative_error",
+    "psnr",
+    "bits_per_value",
+    "compression_ratio",
+    "CompressionReport",
+    "evaluate",
+]
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest absolute reconstruction error."""
+    if original.size == 0:
+        return 0.0
+    return float(np.abs(original - reconstructed).max())
+
+
+def max_pointwise_relative_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest |x' - x| / |x| over non-zero originals.
+
+    Zero originals must be reconstructed exactly; otherwise the error is
+    infinite (matching the pointwise-relative bound definition of [12]).
+    """
+    if original.size == 0:
+        return 0.0
+    zero = original == 0.0
+    if np.any(reconstructed[zero] != 0.0):
+        return math.inf
+    nz = ~zero
+    if not np.any(nz):
+        return 0.0
+    return float((np.abs(reconstructed[nz] - original[nz]) / np.abs(original[nz])).max())
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (inf for exact reconstruction)."""
+    if original.size == 0:
+        return math.inf
+    mse = float(np.mean((original - reconstructed) ** 2))
+    if mse == 0.0:
+        return math.inf
+    peak = float(np.abs(original).max())
+    if peak == 0.0:
+        return -math.inf
+    return 20.0 * math.log10(peak) - 10.0 * math.log10(mse)
+
+
+def bits_per_value(buf: CompressedBuffer) -> float:
+    """Average stored bits per value for a compressed buffer."""
+    return buf.bits_per_value
+
+
+def compression_ratio(buf: CompressedBuffer) -> float:
+    """Uncompressed float64 bytes over compressed bytes."""
+    if buf.nbytes == 0:
+        return math.inf
+    return buf.n * 8 / buf.nbytes
+
+
+@dataclass
+class CompressionReport:
+    """One compressor evaluated on one dataset."""
+
+    compressor: str
+    n: int
+    bits_per_value: float
+    compression_ratio: float
+    max_abs_error: float
+    max_pw_rel_error: float
+    psnr_db: float
+    bound_satisfied: bool
+
+
+def evaluate(comp: Compressor, x: np.ndarray) -> CompressionReport:
+    """Round-trip ``x`` and report quality/size, checking the bound.
+
+    ``bound_satisfied`` verifies the compressor's declared error bound
+    (with a 1e-9 relative slack for float arithmetic in the bound
+    arithmetic itself); fixed-rate compressors have no bound to check.
+    """
+    buf = comp.compress(x)
+    y = comp.decompress(buf)
+    abs_err = max_abs_error(x, y)
+    rel_err = max_pointwise_relative_error(x, y)
+    slack = 1.0 + 1e-9
+    if comp.mode is ErrorBoundMode.ABSOLUTE:
+        ok = abs_err <= getattr(comp, "error_bound", getattr(comp, "tolerance", 0.0)) * slack
+    elif comp.mode is ErrorBoundMode.POINTWISE_RELATIVE:
+        ok = rel_err <= comp.error_bound * slack
+    else:
+        ok = True
+    return CompressionReport(
+        compressor=buf.compressor,
+        n=x.size,
+        bits_per_value=bits_per_value(buf),
+        compression_ratio=compression_ratio(buf),
+        max_abs_error=abs_err,
+        max_pw_rel_error=rel_err,
+        psnr_db=psnr(x, y),
+        bound_satisfied=bool(ok),
+    )

@@ -1,0 +1,145 @@
+"""Compressor registry with the paper's Table II configurations.
+
+LibPressio (paper ref [10]) gives every compressor a name + options
+dictionary; experiments refer to configurations like ``sz3_08`` or
+``zfp_fr_32``.  This module reproduces that: a registry of named
+configurations (exactly Table II, plus the FRSZ2 formats wrapped in the
+same interface for uniform metrics) and a factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..core import FRSZ2
+from .base import CompressedBuffer, Compressor, ErrorBoundMode
+from .cuszplike import CuSZpLike
+from .szlike import SZLike
+from .zfplike import ZFPLike
+
+__all__ = [
+    "CompressorSpec",
+    "TABLE_II",
+    "FRSZ2_CONFIGS",
+    "EXTRA_CONFIGS",
+    "list_compressors",
+    "make_compressor",
+    "Frsz2CompressorAdapter",
+]
+
+
+class Frsz2CompressorAdapter(Compressor):
+    """FRSZ2 behind the generic compressor interface (for metrics benches).
+
+    FRSZ2 is fixed-rate by construction: ``l`` bits per value plus one
+    exponent per block.
+    """
+
+    kind = "frsz2"
+
+    def __init__(self, bit_length: int = 32, block_size: int = 32) -> None:
+        self.codec = FRSZ2(bit_length=bit_length, block_size=block_size)
+
+    @property
+    def mode(self) -> ErrorBoundMode:
+        return ErrorBoundMode.FIXED_RATE
+
+    def compress(self, x: np.ndarray) -> CompressedBuffer:
+        x = self._check_input(x)
+        comp = self.codec.compress(x)
+        return CompressedBuffer(
+            compressor=f"frsz2_{self.codec.bit_length}",
+            n=x.size,
+            streams={
+                "values": comp.payload.tobytes(),
+                "exponents": comp.exponents.tobytes(),
+            },
+            meta={"compressed": comp},
+            header_nbytes=0,  # Eq. 3 counts exactly these two streams
+        )
+
+    def decompress(self, buf: CompressedBuffer) -> np.ndarray:
+        return self.codec.decompress(buf.meta["compressed"])
+
+
+@dataclass(frozen=True)
+class CompressorSpec:
+    """A named compressor configuration (one row of Table II)."""
+
+    name: str
+    error_bound_type: str
+    error_bound: str
+    factory: Callable[[], Compressor]
+
+    def build(self) -> Compressor:
+        return self.factory()
+
+
+def _spec(name, ebt, eb, factory) -> CompressorSpec:
+    return CompressorSpec(name=name, error_bound_type=ebt, error_bound=eb, factory=factory)
+
+
+#: Table II of the paper: compressor name and requested bounds.
+TABLE_II: Dict[str, CompressorSpec] = {
+    s.name: s
+    for s in [
+        _spec("sz3_06", "absolute", "1e-06",
+              lambda: SZLike(1e-6, ErrorBoundMode.ABSOLUTE, variant="sz3")),
+        _spec("sz3_07", "absolute", "1e-07",
+              lambda: SZLike(1e-7, ErrorBoundMode.ABSOLUTE, variant="sz3")),
+        _spec("sz3_08", "absolute", "1e-08",
+              lambda: SZLike(1e-8, ErrorBoundMode.ABSOLUTE, variant="sz3")),
+        _spec("zfp_06", "absolute", "1.4e-06",
+              lambda: ZFPLike(ErrorBoundMode.ABSOLUTE, tolerance=1.4e-6)),
+        _spec("zfp_10", "absolute", "4.0e-10",
+              lambda: ZFPLike(ErrorBoundMode.ABSOLUTE, tolerance=4.0e-10)),
+        _spec("sz_pwrel_04", "relative", "1e-04",
+              lambda: SZLike(1e-4, ErrorBoundMode.POINTWISE_RELATIVE, variant="sz")),
+        _spec("sz3_pwrel_04", "relative", "1e-04",
+              lambda: SZLike(1e-4, ErrorBoundMode.POINTWISE_RELATIVE, variant="sz3")),
+        _spec("zfp_fr_16", "fixed rate", "16 bits",
+              lambda: ZFPLike(ErrorBoundMode.FIXED_RATE, rate=16)),
+        _spec("zfp_fr_32", "fixed rate", "32 bits",
+              lambda: ZFPLike(ErrorBoundMode.FIXED_RATE, rate=32)),
+    ]
+}
+
+#: FRSZ2 configurations used throughout the evaluation.
+FRSZ2_CONFIGS: Dict[str, CompressorSpec] = {
+    s.name: s
+    for s in [
+        _spec("frsz2_16", "fixed rate", "16 bits", lambda: Frsz2CompressorAdapter(16)),
+        _spec("frsz2_21", "fixed rate", "21 bits", lambda: Frsz2CompressorAdapter(21)),
+        _spec("frsz2_32", "fixed rate", "32 bits", lambda: Frsz2CompressorAdapter(32)),
+    ]
+}
+
+#: extra configurations beyond Table II: the cuSZp2-analog comparator
+#: (the paper compares against cuSZp2 on throughput only, Section III-B)
+EXTRA_CONFIGS: Dict[str, CompressorSpec] = {
+    s.name: s
+    for s in [
+        _spec("cuszp_06", "absolute", "1e-06", lambda: CuSZpLike(1e-6)),
+        _spec("cuszp_08", "absolute", "1e-08", lambda: CuSZpLike(1e-8)),
+    ]
+}
+
+_ALL: Dict[str, CompressorSpec] = {**TABLE_II, **FRSZ2_CONFIGS, **EXTRA_CONFIGS}
+
+
+def list_compressors() -> List[str]:
+    """Names of every registered compressor configuration."""
+    return sorted(_ALL)
+
+
+def make_compressor(name: str) -> Compressor:
+    """Instantiate a registered configuration by its Table II name."""
+    try:
+        return _ALL[name].build()
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {', '.join(list_compressors())}"
+        ) from None

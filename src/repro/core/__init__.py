@@ -1,0 +1,24 @@
+"""FRSZ2 core: the paper's in-register block compressor and its substrates.
+
+Public entry points:
+
+* :class:`repro.core.frsz2.FRSZ2` — the vectorized production codec.
+* :class:`repro.core.blocks.BlockLayout` — block geometry and Eq. 3 storage.
+* :mod:`repro.core.reference` — scalar oracle implementation.
+* :mod:`repro.core.ieee754` / :mod:`repro.core.bitpack` — bit-level substrates.
+"""
+
+from .blocks import DEFAULT_BLOCK_SIZE, BlockLayout
+from .frsz2 import FRSZ2, Frsz2Compressed
+from .serialize import dump_bytes, dump_file, load_bytes, load_file
+
+__all__ = [
+    "FRSZ2",
+    "Frsz2Compressed",
+    "BlockLayout",
+    "DEFAULT_BLOCK_SIZE",
+    "dump_bytes",
+    "dump_file",
+    "load_bytes",
+    "load_file",
+]

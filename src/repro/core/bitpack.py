@@ -1,0 +1,166 @@
+"""Vectorized bit-stream packing into 32-bit words.
+
+FRSZ2 stores compressed values as *l*-bit fields inside a stream of
+integer words (paper Section IV: "For increased memory access speed, we
+read and write our memory as integers with at least l bits").  For
+``l = 2^x`` the fields align with machine types and packing is a cast;
+for other lengths (e.g. ``l = 21``) neighbouring values straddle word
+boundaries and must be merged before storing, since "GPUs can only store
+values at a byte level" (compression step 6).
+
+This module implements the general case: writing/reading ``width``-bit
+fields (``1 <= width <= 64``) at arbitrary bit positions of a little-
+endian ``uint32`` word stream, fully vectorized.  Fields wider than 32
+bits are decomposed into 32-bit chunks; each chunk touches at most two
+words.
+
+The same machinery backs the Huffman bit streams of the SZ-like
+comparator compressor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "words_needed",
+    "pack_at",
+    "unpack_at",
+    "pack_fields",
+    "unpack_fields",
+]
+
+_U32_MASK = np.uint64(0xFFFFFFFF)
+
+
+def words_needed(total_bits: int) -> int:
+    """Number of 32-bit words required to hold ``total_bits`` bits."""
+    if total_bits < 0:
+        raise ValueError("total_bits must be non-negative")
+    return (int(total_bits) + 31) // 32
+
+
+def _field_mask(widths: np.ndarray) -> np.ndarray:
+    """Per-field mask ``2^width - 1`` as uint64 (width 64 -> all ones)."""
+    w = widths.astype(np.uint64)
+    full = np.uint64(0xFFFFFFFFFFFFFFFF)
+    # Shifting by 64 is undefined; special-case full-width fields.
+    shifted = np.where(w >= 64, full, (np.uint64(1) << np.where(w >= 64, np.uint64(0), w)) - np.uint64(1))
+    return shifted
+
+
+def _scatter_chunks(words: np.ndarray, bitpos: np.ndarray, chunks: np.ndarray, nbits: np.ndarray) -> None:
+    """OR ``nbits``-bit (<=32) chunks into ``words`` at ``bitpos``."""
+    active = nbits > 0
+    if not np.all(active):
+        bitpos = bitpos[active]
+        chunks = chunks[active]
+        nbits = nbits[active]
+    if bitpos.size == 0:
+        return
+    word_idx = (bitpos >> 5).astype(np.int64)
+    bit_off = (bitpos & 31).astype(np.uint64)
+    vals = (chunks & _field_mask(nbits)) << bit_off  # <= 63 bits, fits uint64
+    lo = (vals & _U32_MASK).astype(np.uint32)
+    hi = (vals >> np.uint64(32)).astype(np.uint32)
+    # np.bitwise_or.at is unbuffered: safe with repeated word indices.
+    np.bitwise_or.at(words, word_idx, lo)
+    spill = hi != 0
+    if np.any(spill):
+        np.bitwise_or.at(words, word_idx[spill] + 1, hi[spill])
+
+
+def pack_at(words: np.ndarray, bitpos: np.ndarray, fields: np.ndarray, widths) -> None:
+    """OR ``widths``-bit fields into a uint32 word stream at bit positions.
+
+    Parameters
+    ----------
+    words:
+        Destination ``uint32`` array.  Target bits must currently be zero
+        (the operation is a bitwise OR, matching GPU store merging).
+    bitpos:
+        Bit offset of each field's LSB within the stream (int64).
+    fields:
+        Field values (converted to ``uint64``); bits above each field's
+        width must be zero, otherwise a ``ValueError`` is raised.
+    widths:
+        Scalar or per-field widths in [1, 64].
+    """
+    if words.dtype != np.uint32:
+        raise TypeError("words must be uint32")
+    bitpos = np.asarray(bitpos, dtype=np.int64)
+    fields = np.asarray(fields, dtype=np.uint64)
+    widths = np.broadcast_to(np.asarray(widths, dtype=np.int64), fields.shape)
+    if bitpos.shape != fields.shape:
+        raise ValueError("bitpos and fields must have the same shape")
+    if fields.size == 0:
+        return
+    if np.any(widths < 1) or np.any(widths > 64):
+        raise ValueError("widths must be in [1, 64]")
+    if np.any(fields & ~_field_mask(widths)):
+        raise ValueError("field value exceeds its declared width")
+    end = int(bitpos[-1] + widths[-1]) if bitpos.size else 0
+    if np.any(bitpos < 0) or (bitpos + widths).max() > words.size * 32:
+        raise ValueError("field extends past the end of the word stream")
+    del end
+    # Low chunk: up to 32 bits.
+    lo_bits = np.minimum(widths, 32)
+    _scatter_chunks(words, bitpos, fields, lo_bits)
+    # High chunk for fields wider than 32 bits.
+    hi_bits = widths - lo_bits
+    if np.any(hi_bits > 0):
+        _scatter_chunks(words, bitpos + 32, fields >> np.uint64(32), hi_bits)
+
+
+def _gather_chunks(words: np.ndarray, bitpos: np.ndarray, nbits: np.ndarray) -> np.ndarray:
+    """Read ``nbits``-bit (<=32) chunks from ``words`` at ``bitpos``."""
+    word_idx = (bitpos >> 5).astype(np.int64)
+    bit_off = (bitpos & 31).astype(np.uint64)
+    lo = words[word_idx].astype(np.uint64)
+    nxt = word_idx + 1
+    # Clamp the straddle read; the shifted-in bits are masked off anyway.
+    nxt = np.minimum(nxt, words.size - 1)
+    hi = words[nxt].astype(np.uint64)
+    combined = (lo >> bit_off) | np.where(
+        bit_off == 0, np.uint64(0), hi << (np.uint64(32) - bit_off)
+    )
+    return combined & _field_mask(nbits)
+
+
+def unpack_at(words: np.ndarray, bitpos: np.ndarray, widths) -> np.ndarray:
+    """Read ``widths``-bit fields from a uint32 word stream (see pack_at)."""
+    if words.dtype != np.uint32:
+        raise TypeError("words must be uint32")
+    bitpos = np.asarray(bitpos, dtype=np.int64)
+    widths = np.broadcast_to(np.asarray(widths, dtype=np.int64), bitpos.shape)
+    if bitpos.size == 0:
+        return np.zeros(0, dtype=np.uint64)
+    if np.any(widths < 1) or np.any(widths > 64):
+        raise ValueError("widths must be in [1, 64]")
+    if np.any(bitpos < 0) or (bitpos + widths).max() > words.size * 32:
+        raise ValueError("field extends past the end of the word stream")
+    lo_bits = np.minimum(widths, 32)
+    out = _gather_chunks(words, bitpos, lo_bits)
+    hi_bits = widths - lo_bits
+    if np.any(hi_bits > 0):
+        sel = hi_bits > 0
+        hi = np.zeros_like(out)
+        hi[sel] = _gather_chunks(words, bitpos[sel] + 32, hi_bits[sel])
+        out = out | (hi << np.uint64(32))
+    return out
+
+
+def pack_fields(fields: np.ndarray, width: int) -> np.ndarray:
+    """Pack equal-width fields consecutively; returns the uint32 stream."""
+    fields = np.asarray(fields, dtype=np.uint64)
+    n = fields.size
+    words = np.zeros(words_needed(n * width), dtype=np.uint32)
+    bitpos = np.arange(n, dtype=np.int64) * int(width)
+    pack_at(words, bitpos, fields, width)
+    return words
+
+
+def unpack_fields(words: np.ndarray, n: int, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_fields`: read ``n`` consecutive fields."""
+    bitpos = np.arange(n, dtype=np.int64) * int(width)
+    return unpack_at(words, bitpos, width)

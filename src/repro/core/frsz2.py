@@ -1,0 +1,291 @@
+"""Vectorized FRSZ2 codec (the paper's core contribution, Section IV).
+
+FRSZ2 is a fixed-rate block-floating-point compressor: ``BS`` consecutive
+float64 values share the maximum biased exponent ``e_max`` of the block;
+each value is stored as an ``l``-bit field holding the sign bit followed
+by the significand normalised to ``e_max`` (Eq. 2).  The per-block
+exponents live in a separate ``int32`` stream (Section IV-C opt. 5).
+
+The NumPy implementation mirrors the CUDA kernels operation-for-operation:
+reinterpret casts instead of ``__double_as_longlong``, vectorized
+leading-zero counts instead of ``__clz``, and a block-wise max reduction
+instead of warp shuffles.  Numerical results are bit-identical to the
+GPU algorithm (validated against the scalar reference and the SIMT warp
+executor in the test suite).
+
+Two data paths exist, as in the paper (Section IV-C opt. 3):
+
+* *aligned* (``l`` in {8, 16, 32, 64}): fields map 1:1 onto machine
+  integers; packing is a cast.
+* *straddling* (any other ``l``): fields are bit-packed into 32-bit words
+  with each block starting word-aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from . import bitpack, ieee754
+from .blocks import DEFAULT_BLOCK_SIZE, BlockLayout
+
+__all__ = ["FRSZ2", "Frsz2Compressed"]
+
+_U64 = np.uint64
+
+
+@dataclass
+class Frsz2Compressed:
+    """An FRSZ2-compressed array.
+
+    Attributes
+    ----------
+    layout:
+        Block geometry and storage accounting (Eq. 3).
+    exponents:
+        One biased maximum exponent per block (``int32`` stream).
+    payload:
+        The compressed-value stream.  For aligned bit lengths this is a
+        ``uint8/16/32/64`` array with one element per value slot; for
+        straddling lengths it is the packed ``uint32`` word stream.
+    """
+
+    layout: BlockLayout
+    exponents: np.ndarray
+    payload: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.layout.n
+
+    @property
+    def nbytes(self) -> int:
+        """Stored size in bytes per Eq. 3 (alignment included)."""
+        return self.layout.total_nbytes
+
+    @property
+    def bits_per_value(self) -> float:
+        return self.layout.bits_per_value
+
+
+_ALIGNED_DTYPES = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}
+
+
+class FRSZ2:
+    """The FRSZ2 fixed-rate compressor.
+
+    Parameters
+    ----------
+    bit_length:
+        ``l``, bits per stored value (sign + significand).  The paper
+        evaluates l in {16, 21, 32} and advocates 32.
+    block_size:
+        ``BS``, values per block.  The paper mandates 32 on NVIDIA GPUs
+        (one block per warp); other sizes are supported for the ablation
+        study.
+    rounding:
+        Step 5 cuts the significand to length ``l``.  The paper truncates;
+        ``rounding=True`` selects round-to-nearest for the ablation bench
+        (carries that would overflow into the sign bit are clamped).
+    """
+
+    def __init__(
+        self,
+        bit_length: int = 32,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        rounding: bool = False,
+    ) -> None:
+        if not 2 <= bit_length <= 64:
+            raise ValueError("bit_length must be in [2, 64]")
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.bit_length = int(bit_length)
+        self.block_size = int(block_size)
+        self.rounding = bool(rounding)
+
+    # ------------------------------------------------------------------
+    # compression (paper Section IV-A)
+    # ------------------------------------------------------------------
+
+    def layout_for(self, n: int) -> BlockLayout:
+        return BlockLayout(n, self.block_size, self.bit_length)
+
+    def _encode_fields(self, x: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Steps 1-5: per-value l-bit fields and per-block exponents."""
+        l = self.bit_length
+        bs = self.block_size
+        n = x.size
+        layout = self.layout_for(n)
+        bits = ieee754.to_bits(x)
+        if np.any(ieee754.biased_exponent(bits) == ieee754.EXPONENT_MASK):
+            raise ValueError("FRSZ2 does not support NaN or Inf inputs")
+        sign = ieee754.sign_bit(bits)
+        e_eff = ieee754.effective_biased_exponent(bits)
+        sig53 = ieee754.significand53(bits)
+        # Zeros must not raise the block exponent: give them the minimum.
+        e_for_max = np.where(sig53 == 0, _U64(1), e_eff)
+
+        # Step 1: block-wise maximum exponent. Pad to a full block grid.
+        nb = layout.num_blocks
+        pad = nb * bs - n
+        if pad:
+            e_for_max = np.concatenate([e_for_max, np.ones(pad, dtype=np.uint64)])
+        e_max = e_for_max.reshape(nb, bs).max(axis=1)
+        e_max_per_value = np.repeat(e_max, bs)[:n]
+
+        # Steps 2-5: shift the 53-bit significand so its leading 1 lands at
+        # field bit (l-2-k); the sign occupies field bit (l-1).
+        k = e_max_per_value - e_eff
+        shift = np.int64(54 - l) + k.astype(np.int64)
+        if self.rounding:
+            rnd = np.where(
+                shift > 0,
+                _U64(1) << np.maximum(shift - 1, 0).astype(np.uint64),
+                _U64(0),
+            )
+            base = sig53 + rnd
+        else:
+            base = sig53
+        pos_shift = np.minimum(np.maximum(shift, 0), 63).astype(np.uint64)
+        neg_shift = np.minimum(np.maximum(-shift, 0), 63).astype(np.uint64)
+        c_sig = (base >> pos_shift) << neg_shift
+        if self.rounding:
+            # A carry out of the significand field would corrupt the sign.
+            limit = (_U64(1) << np.uint64(l - 1)) - _U64(1)
+            c_sig = np.minimum(c_sig, limit)
+        fields = (sign << np.uint64(l - 1)) | c_sig
+        return fields, e_max.astype(np.int32)
+
+    def compress(self, x: np.ndarray) -> Frsz2Compressed:
+        """Compress a 1-D float64 array into an :class:`Frsz2Compressed`."""
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError("FRSZ2 compresses 1-D arrays")
+        layout = self.layout_for(x.size)
+        fields, exponents = self._encode_fields(x)
+        l = self.bit_length
+        if layout.is_aligned:
+            payload = fields.astype(_ALIGNED_DTYPES[l])
+            # Pad to the full block grid so Eq. 3 storage holds.
+            full = layout.num_blocks * self.block_size
+            if payload.size < full:
+                payload = np.concatenate(
+                    [payload, np.zeros(full - payload.size, dtype=payload.dtype)]
+                )
+        else:
+            payload = np.zeros(layout.value_words, dtype=np.uint32)
+            bitpos = self._bit_positions(np.arange(x.size, dtype=np.int64), layout)
+            bitpack.pack_at(payload, bitpos, fields, l)
+        return Frsz2Compressed(layout=layout, exponents=exponents, payload=payload)
+
+    # ------------------------------------------------------------------
+    # decompression (paper Section IV-B)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bit_positions(indices: np.ndarray, layout: BlockLayout) -> np.ndarray:
+        """Stream bit offsets of value fields (blocks are word-aligned)."""
+        bs = layout.block_size
+        block = indices // bs
+        within = indices - block * bs
+        return block * (layout.words_per_block * 32) + within * layout.bit_length
+
+    def _read_fields(self, comp: Frsz2Compressed, indices: np.ndarray) -> np.ndarray:
+        l = self.bit_length
+        if comp.layout.is_aligned:
+            return comp.payload[indices].astype(np.uint64)
+        bitpos = self._bit_positions(indices, comp.layout)
+        return bitpack.unpack_at(comp.payload, bitpos, l)
+
+    def _decode_fields(
+        self, fields: np.ndarray, e_max_per_value: np.ndarray
+    ) -> np.ndarray:
+        """Steps 2-4: fields + block exponents -> float64 values.
+
+        Uses the bit-assembly route of the paper (count leading zeros,
+        recover ``e = e_max - k``, merge s/e/mantissa).  Values whose
+        reconstruction falls below the normal float64 range flush to
+        (signed) zero, exactly as the CUDA kernel does.
+        """
+        l = self.bit_length
+        sign = fields >> np.uint64(l - 1)
+        sig_mask = (_U64(1) << np.uint64(l - 1)) - _U64(1)
+        c_sig = fields & sig_mask
+        hsb = ieee754.highest_set_bit(c_sig)  # -1 for zero fields
+        k = np.int64(l - 2) - hsb
+        e = e_max_per_value.astype(np.int64) - k
+        nonzero = c_sig != 0
+        normal = nonzero & (e >= 1)
+        # Align the leading 1 to mantissa bit 52, then drop it.  For
+        # l > 54 the field holds more fraction bits than a double's
+        # mantissa; the excess is truncated (down-shift).
+        up = np.clip(52 - hsb, 0, 63).astype(np.uint64)
+        down = np.clip(hsb - 52, 0, 63).astype(np.uint64)
+        sig53 = np.where(normal, (c_sig >> down) << up, _U64(0))
+        mant = sig53 & ieee754.MANTISSA_MASK
+        e_field = np.where(normal, e, 0).astype(np.uint64)
+        return ieee754.assemble(sign, e_field, mant)
+
+    def decompress(self, comp: Frsz2Compressed, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Decompress the full array."""
+        n = comp.n
+        indices = np.arange(n, dtype=np.int64)
+        fields = self._read_fields(comp, indices)
+        e_max = np.repeat(
+            comp.exponents.astype(np.int64), comp.layout.block_size
+        )[:n]
+        values = self._decode_fields(fields, e_max)
+        if out is not None:
+            if out.shape != (n,) or out.dtype != np.float64:
+                raise ValueError("out must be a float64 array of matching size")
+            out[:] = values
+            return out
+        return values
+
+    def get(self, comp: Frsz2Compressed, indices: Union[int, np.ndarray]) -> np.ndarray:
+        """Random access decompression (paper Section IV-B).
+
+        Only the requested fields plus their blocks' ``e_max`` entries are
+        touched — the random-access-by-block property CB-GMRES requires.
+        """
+        scalar = np.isscalar(indices)
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if idx.size and (idx.min() < 0 or idx.max() >= comp.n):
+            raise IndexError("index out of range")
+        fields = self._read_fields(comp, idx)
+        e_max = comp.exponents.astype(np.int64)[idx // comp.layout.block_size]
+        values = self._decode_fields(fields, e_max)
+        return values[0] if scalar else values
+
+    def decompress_block(self, comp: Frsz2Compressed, block: int) -> np.ndarray:
+        """Decompress one block (the cache-friendly access pattern)."""
+        rng = comp.layout.block_range(block)
+        return self.get(comp, np.arange(rng.start, rng.stop, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def roundtrip(self, x: np.ndarray) -> np.ndarray:
+        """Compress then decompress (the error-injection path of §V-D)."""
+        return self.decompress(self.compress(x))
+
+    def max_block_error_bound(self, e_max_biased: int) -> float:
+        """A priori truncation error bound for a block.
+
+        Truncation drops bits below the fixed-point grid spacing
+        ``2^(e_max - 1023 - (l - 2))``, so every value in the block
+        satisfies ``|x - x'| < 2^(e_max - 1023 - (l - 2))`` (one grid ulp;
+        half that with rounding).
+        """
+        import math
+
+        return math.ldexp(1.0, int(e_max_biased) - 1023 - (self.bit_length - 2))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FRSZ2(bit_length={self.bit_length}, block_size={self.block_size}, "
+            f"rounding={self.rounding})"
+        )

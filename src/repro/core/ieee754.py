@@ -1,0 +1,179 @@
+"""Vectorized IEEE 754 binary64 field manipulation.
+
+FRSZ2 (paper Section IV) operates directly on the bit-level fields of
+IEEE 754 double-precision values: the sign ``s``, the 11-bit biased
+exponent ``e`` and the 52-bit stored significand ``b51..b0``, combined as
+
+    value = (-1)^s * (1.b51..b0)_2 * 2^(e - 1023)          (paper Eq. 1)
+
+This module provides the NumPy equivalents of the CUDA intrinsics the
+paper relies on: reinterpret casts between ``float64`` and ``uint64``
+(``__double_as_longlong``), field extraction/assembly, and a vectorized
+count-leading-zeros (``__clzll``).
+
+All functions are pure and operate on arrays without copying where a view
+suffices (reinterpret casts are views).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SIGN_SHIFT",
+    "EXPONENT_SHIFT",
+    "EXPONENT_MASK",
+    "EXPONENT_BIAS",
+    "MANTISSA_BITS",
+    "MANTISSA_MASK",
+    "IMPLICIT_BIT",
+    "MAX_BIASED_EXPONENT",
+    "to_bits",
+    "from_bits",
+    "sign_bit",
+    "biased_exponent",
+    "mantissa",
+    "significand53",
+    "effective_biased_exponent",
+    "assemble",
+    "is_nonfinite",
+    "highest_set_bit",
+    "count_leading_zeros",
+]
+
+SIGN_SHIFT = 63
+EXPONENT_SHIFT = 52
+EXPONENT_MASK = np.uint64(0x7FF)
+EXPONENT_BIAS = 1023
+MANTISSA_BITS = 52
+MANTISSA_MASK = np.uint64((1 << 52) - 1)
+IMPLICIT_BIT = np.uint64(1 << 52)
+#: Biased exponent reserved for Inf/NaN.
+MAX_BIASED_EXPONENT = 0x7FF
+
+_U64 = np.uint64
+_ONE = np.uint64(1)
+
+
+def to_bits(x: np.ndarray) -> np.ndarray:
+    """Reinterpret a ``float64`` array as ``uint64`` (zero-copy view).
+
+    Equivalent to CUDA's ``__double_as_longlong`` applied element-wise.
+    """
+    x = np.asarray(x)
+    if x.dtype != np.float64:
+        raise TypeError(f"expected float64 input, got {x.dtype}")
+    return x.view(np.uint64)
+
+
+def from_bits(bits: np.ndarray) -> np.ndarray:
+    """Reinterpret a ``uint64`` array as ``float64`` (zero-copy view)."""
+    bits = np.asarray(bits)
+    if bits.dtype != np.uint64:
+        raise TypeError(f"expected uint64 input, got {bits.dtype}")
+    return bits.view(np.float64)
+
+
+def sign_bit(bits: np.ndarray) -> np.ndarray:
+    """Extract the sign bit (0 or 1) as ``uint64``."""
+    return bits >> np.uint64(SIGN_SHIFT)
+
+
+def biased_exponent(bits: np.ndarray) -> np.ndarray:
+    """Extract the 11-bit biased exponent as ``uint64`` (0..2047)."""
+    return (bits >> np.uint64(EXPONENT_SHIFT)) & EXPONENT_MASK
+
+
+def mantissa(bits: np.ndarray) -> np.ndarray:
+    """Extract the 52 stored significand bits as ``uint64``."""
+    return bits & MANTISSA_MASK
+
+
+def significand53(bits: np.ndarray) -> np.ndarray:
+    """Return the full 53-bit significand including the implicit leading 1.
+
+    For normal numbers this is ``mantissa | 2^52`` (paper compression
+    step 2: "add the usually implicit 1 bit").  For subnormals and zeros
+    (biased exponent 0) there is no implicit bit, so the raw mantissa is
+    returned; together with :func:`effective_biased_exponent` this gives
+    the uniform representation ``value = sig53 * 2^(e_eff - 1075)``.
+    """
+    exp = biased_exponent(bits)
+    implicit = np.where(exp != 0, IMPLICIT_BIT, _U64(0))
+    return mantissa(bits) | implicit
+
+
+def effective_biased_exponent(bits: np.ndarray) -> np.ndarray:
+    """Biased exponent with subnormals mapped to 1.
+
+    With ``sig53 = significand53(bits)`` every finite double satisfies
+    exactly ``value = (-1)^s * sig53 * 2^(e_eff - 1075)``.
+    """
+    return np.maximum(biased_exponent(bits), _ONE)
+
+
+def assemble(sign: np.ndarray, exponent: np.ndarray, mant: np.ndarray) -> np.ndarray:
+    """Assemble sign/biased-exponent/mantissa fields into float64 values.
+
+    This mirrors decompression step 4 of the paper ("merge s, e, and the
+    corrected significand back to an IEEE double-precision value").
+    Inputs are taken modulo their field widths.
+    """
+    sign = np.asarray(sign, dtype=np.uint64)
+    exponent = np.asarray(exponent, dtype=np.uint64)
+    mant = np.asarray(mant, dtype=np.uint64)
+    bits = (
+        ((sign & _ONE) << np.uint64(SIGN_SHIFT))
+        | ((exponent & EXPONENT_MASK) << np.uint64(EXPONENT_SHIFT))
+        | (mant & MANTISSA_MASK)
+    )
+    return from_bits(bits)
+
+
+def is_nonfinite(x: np.ndarray) -> np.ndarray:
+    """Boolean mask of NaN/Inf entries (biased exponent == 0x7FF)."""
+    return biased_exponent(to_bits(np.asarray(x, dtype=np.float64))) == EXPONENT_MASK
+
+
+def _highest_set_bit_le32(v: np.ndarray) -> np.ndarray:
+    """Highest set bit index for values < 2^32 (internal helper).
+
+    Uses exact float64 conversion: every integer below 2^53 converts
+    exactly, so ``frexp`` yields ``floor(log2 v) + 1``.  Returns -1 for 0.
+    """
+    _, e = np.frexp(v.astype(np.float64))
+    return e.astype(np.int64) - 1
+
+
+def highest_set_bit(v: np.ndarray) -> np.ndarray:
+    """Vectorized index of the most significant set bit of ``uint64`` values.
+
+    Returns -1 for zero inputs.  Exact for the full 64-bit range (the
+    naive float conversion trick is only exact below 2^53, so the high
+    and low 32-bit halves are handled separately).
+    """
+    v = np.asarray(v, dtype=np.uint64)
+    hi = v >> np.uint64(32)
+    lo = v & np.uint64(0xFFFFFFFF)
+    return np.where(
+        hi != 0,
+        _highest_set_bit_le32(hi) + 32,
+        _highest_set_bit_le32(lo),
+    )
+
+
+def count_leading_zeros(v: np.ndarray, width: int = 64) -> np.ndarray:
+    """Vectorized count-leading-zeros within a ``width``-bit field.
+
+    NumPy analog of CUDA's ``__clz``/``__clzll`` intrinsics, which the
+    paper lists as "mandatory for good performance" (Section IV-C).
+    Zero inputs return ``width``.  Raises if any value needs more than
+    ``width`` bits.
+    """
+    if not 1 <= width <= 64:
+        raise ValueError(f"width must be in [1, 64], got {width}")
+    v = np.asarray(v, dtype=np.uint64)
+    hsb = highest_set_bit(v)
+    if np.any(hsb >= width):
+        raise ValueError(f"value exceeds {width}-bit field")
+    return (width - 1) - hsb

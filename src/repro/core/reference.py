@@ -1,0 +1,170 @@
+"""Scalar reference implementation of the FRSZ2 codec.
+
+A deliberately straight-line, one-value-at-a-time transcription of the
+compression steps 1-6 and decompression steps 1-4 from Section IV of the
+paper.  It is the oracle against which the vectorized production codec
+(:mod:`repro.core.frsz2`) and the warp-level SIMT kernel
+(:mod:`repro.gpu.warp`) are tested, and it powers the step-by-step
+walkthrough example (paper Fig. 3).
+
+Python ints are arbitrary precision, so every shift here is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = [
+    "compress_value",
+    "compress_block",
+    "decompress_value",
+    "decompress_block",
+    "CompressionTrace",
+    "trace_block_compression",
+]
+
+_MANT_BITS = 52
+_EXP_BIAS = 1023
+
+
+def _split(x: float) -> "tuple[int, int, int]":
+    """Split a finite double into (sign, effective biased exponent, sig53)."""
+    bits = int.from_bytes(__import__("struct").pack("<d", x), "little")
+    s = bits >> 63
+    e = (bits >> 52) & 0x7FF
+    m = bits & ((1 << 52) - 1)
+    if e == 0x7FF:
+        raise ValueError("non-finite values are not supported by FRSZ2")
+    if e == 0:
+        return s, 1, m  # subnormal / zero: no implicit bit
+    return s, e, m | (1 << 52)
+
+
+def compress_value(x: float, e_max: int, bit_length: int, rounding: bool = False) -> int:
+    """Compress one value against a known block maximum exponent.
+
+    Implements steps 2-5: extract sign and significand with explicit
+    leading 1, prefix ``k = e_max - e`` zeros, prepend the sign, and cut
+    to ``bit_length`` bits (truncation by default; optional
+    round-to-nearest for the ablation study, clamped so a carry cannot
+    overflow into the sign bit).
+    """
+    l = bit_length
+    s, e, sig53 = _split(x)
+    k = e_max - e
+    if k < 0:
+        raise ValueError("value exponent exceeds block maximum")
+    shift = (54 - l) + k
+    if rounding and shift > 0:
+        c_sig = (sig53 + (1 << (shift - 1))) >> shift
+        c_sig = min(c_sig, (1 << (l - 1)) - 1)
+    elif shift >= 0:
+        c_sig = sig53 >> shift
+    else:
+        c_sig = sig53 << (-shift)
+    return (s << (l - 1)) | c_sig
+
+
+def block_max_exponent(values: Sequence[float]) -> int:
+    """Step 1: maximum effective biased exponent over the block."""
+    return max(_split(float(v))[1] for v in values)
+
+
+def compress_block(
+    values: Sequence[float], bit_length: int, rounding: bool = False
+) -> "tuple[int, List[int]]":
+    """Compress a block; returns ``(e_max, [c, ...])`` (step 6 stores both)."""
+    e_max = block_max_exponent(values)
+    return e_max, [compress_value(float(v), e_max, bit_length, rounding) for v in values]
+
+
+def decompress_value(c: int, e_max: int, bit_length: int) -> float:
+    """Decompress one field ``c`` given its block's ``e_max``.
+
+    Evaluates paper Eq. (2) exactly:
+
+        value = (-1)^s * (c_{l-2} . c_{l-3} ... c_0)_2 * 2^(e_max - 1023)
+
+    i.e. ``(-1)^s * c_sig * 2^(e_max - 1023 - (l - 2))`` via ``ldexp``.
+    Results below the normal range flush to zero, mirroring the bit-
+    assembly decoder used on the GPU.
+    """
+    l = bit_length
+    s = (c >> (l - 1)) & 1
+    c_sig = c & ((1 << (l - 1)) - 1)
+    if c_sig == 0:
+        return -0.0 if s else 0.0
+    # k = leading zeros of the significand field; e = e_max - k (step 3).
+    k = (l - 2) - c_sig.bit_length() + 1
+    if e_max - k <= 0:
+        return -0.0 if s else 0.0  # underflows the normal range
+    # For l > 54 the field carries more fraction bits than a double's
+    # mantissa; truncate the excess (matching the bit-assembly decoder).
+    excess = c_sig.bit_length() - 53
+    exp2 = e_max - _EXP_BIAS - (l - 2)
+    if excess > 0:
+        c_sig >>= excess
+        exp2 += excess
+    value = math.ldexp(c_sig, exp2)
+    return -value if s else value
+
+
+def decompress_block(e_max: int, fields: Sequence[int], bit_length: int) -> List[float]:
+    """Decompress a whole block of fields."""
+    return [decompress_value(c, e_max, bit_length) for c in fields]
+
+
+@dataclass
+class CompressionTrace:
+    """Intermediate quantities of each compression step, for one block.
+
+    Used by ``examples/compression_walkthrough.py`` to reproduce the
+    worked illustration of paper Fig. 3.
+    """
+
+    values: List[float] = field(default_factory=list)
+    signs: List[int] = field(default_factory=list)
+    exponents: List[int] = field(default_factory=list)
+    significands: List[int] = field(default_factory=list)
+    e_max: int = 0
+    shifts: List[int] = field(default_factory=list)
+    compressed: List[int] = field(default_factory=list)
+    decompressed: List[float] = field(default_factory=list)
+
+    def format_steps(self, bit_length: int) -> str:
+        """Human-readable rendering of the six compression steps."""
+        lines = [f"block of {len(self.values)} values, l = {bit_length}"]
+        lines.append(f"step 1: exponents {self.exponents} -> e_max = {self.e_max}")
+        for i, v in enumerate(self.values):
+            sig = self.significands[i]
+            lines.append(
+                f"  value {v!r}: s={self.signs[i]} e={self.exponents[i]} "
+                f"sig53={sig:053b}"
+            )
+            lines.append(
+                f"    k={self.e_max - self.exponents[i]} shift={self.shifts[i]} "
+                f"-> c={self.compressed[i]:0{bit_length}b} "
+                f"-> {self.decompressed[i]!r}"
+            )
+        return "\n".join(lines)
+
+
+def trace_block_compression(
+    values: Sequence[float], bit_length: int, rounding: bool = False
+) -> CompressionTrace:
+    """Run block compression while recording every intermediate step."""
+    trace = CompressionTrace()
+    trace.values = [float(v) for v in values]
+    for v in trace.values:
+        s, e, sig = _split(v)
+        trace.signs.append(s)
+        trace.exponents.append(e)
+        trace.significands.append(sig)
+    trace.e_max = max(trace.exponents)
+    for v, e in zip(trace.values, trace.exponents):
+        trace.shifts.append((54 - bit_length) + (trace.e_max - e))
+        trace.compressed.append(compress_value(v, trace.e_max, bit_length, rounding))
+    trace.decompressed = decompress_block(trace.e_max, trace.compressed, bit_length)
+    return trace

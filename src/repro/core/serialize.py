@@ -1,0 +1,87 @@
+"""Binary serialization of FRSZ2-compressed arrays.
+
+A small self-describing container so compressed Krylov data (or any
+FRSZ2-compressed array) can be written to disk or shipped over a wire
+and decompressed elsewhere without out-of-band metadata.
+
+Layout (little endian):
+
+    magic   4 bytes  b"FRZ2"
+    version u16      currently 1
+    l       u16      bit length
+    bs      u32      block size
+    n       u64      element count
+    exponents: num_blocks * i32
+    payload:   value stream (dtype implied by l / alignment)
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .blocks import BlockLayout
+from .frsz2 import _ALIGNED_DTYPES, Frsz2Compressed
+
+__all__ = ["dump_bytes", "load_bytes", "dump_file", "load_file"]
+
+_MAGIC = b"FRZ2"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHIQ")
+
+
+def dump_bytes(comp: Frsz2Compressed) -> bytes:
+    """Serialize a compressed array to bytes."""
+    layout = comp.layout
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, layout.bit_length, layout.block_size, layout.n
+    )
+    return header + comp.exponents.tobytes() + comp.payload.tobytes()
+
+
+def load_bytes(data: bytes) -> Frsz2Compressed:
+    """Reconstruct a compressed array from :func:`dump_bytes` output."""
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated FRSZ2 container")
+    magic, version, l, bs, n = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ValueError("not an FRSZ2 container (bad magic)")
+    if version != _VERSION:
+        raise ValueError(f"unsupported FRSZ2 container version {version}")
+    layout = BlockLayout(n, bs, l)
+    off = _HEADER.size
+    exp_bytes = layout.num_blocks * 4
+    expected = _HEADER.size + exp_bytes + _payload_nbytes(layout)
+    if len(data) != expected:
+        raise ValueError(
+            f"FRSZ2 container size mismatch: expected {expected}, got {len(data)}"
+        )
+    exponents = np.frombuffer(data, dtype=np.int32, count=layout.num_blocks, offset=off).copy()
+    off += exp_bytes
+    if layout.is_aligned:
+        dtype = _ALIGNED_DTYPES[l]
+        count = layout.num_blocks * bs
+    else:
+        dtype = np.uint32
+        count = layout.value_words
+    payload = np.frombuffer(data, dtype=dtype, count=count, offset=off).copy()
+    return Frsz2Compressed(layout=layout, exponents=exponents, payload=payload)
+
+
+def _payload_nbytes(layout: BlockLayout) -> int:
+    if layout.is_aligned:
+        return layout.num_blocks * layout.block_size * (layout.bit_length // 8)
+    return layout.value_words * 4
+
+
+def dump_file(path, comp: Frsz2Compressed) -> None:
+    """Write a compressed array to ``path``."""
+    with open(path, "wb") as fh:
+        fh.write(dump_bytes(comp))
+
+
+def load_file(path) -> Frsz2Compressed:
+    """Read a compressed array written by :func:`dump_file`."""
+    with open(path, "rb") as fh:
+        return load_bytes(fh.read())

@@ -1,0 +1,78 @@
+"""GPU device catalog for the performance model.
+
+The paper's performance argument (Section I) is arithmetic on published
+device numbers: the H100 PCIe moves ~2 TB/s from HBM while executing
+25.6 double-precision TFLOP/s, i.e. ~100 flops per double read — leaving
+~46 "spare" instructions for decompression once the payload shrinks to
+32 bits.  The :class:`DeviceSpec` captures exactly the quantities that
+argument needs; all roofline/timing predictions derive from them.
+
+Integer/logic operations (the FRSZ2 decompression work) execute on the
+INT32 pipe, which on Hopper issues at the FP32 rate — twice the FP64
+rate — and independently of the FP64 pipe, which is why decompression
+can hide behind memory access at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "H100_PCIE", "A100_SXM", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Published performance envelope of one GPU."""
+
+    name: str
+    #: peak HBM bandwidth in bytes/s
+    mem_bandwidth: float
+    #: peak FP64 throughput in flop/s
+    fp64_flops: float
+    #: peak FP32 throughput in flop/s
+    fp32_flops: float
+    #: peak INT32/logic throughput in op/s (decompression instructions)
+    int_ops: float
+    #: L2 cache in bytes (problems must exceed this, paper Section V-B)
+    l2_bytes: int
+    #: fraction of peak bandwidth a tuned streaming kernel reaches
+    streaming_efficiency: float = 0.92
+    #: bandwidth derate for unaligned (straddling) accesses, the
+    #: frsz2_21 penalty of Section IV-C
+    unaligned_efficiency: float = 0.55
+
+    @property
+    def flops_per_double_read(self) -> float:
+        """The paper's 100:1 compute-to-read headline ratio."""
+        return self.fp64_flops / (self.mem_bandwidth / 8.0)
+
+    def spare_ops_budget(self, stored_bits: float, used_flops: int = 4) -> float:
+        """Instructions available per value for (de)compression.
+
+        Reproduces the Section I calculation: reading ``stored_bits``
+        per value at peak bandwidth leaves ``fp64_flops * t - used``
+        operation slots, where ``t`` is the per-value read time.
+        """
+        t = (stored_bits / 8.0) / self.mem_bandwidth
+        return self.fp64_flops * t - used_flops
+
+
+H100_PCIE = DeviceSpec(
+    name="H100-PCIe",
+    mem_bandwidth=2000e9,
+    fp64_flops=25.6e12,
+    fp32_flops=51.2e12,
+    int_ops=51.2e12,
+    l2_bytes=50 * 1024 * 1024,
+)
+
+A100_SXM = DeviceSpec(
+    name="A100-SXM",
+    mem_bandwidth=1555e9,
+    fp64_flops=9.7e12,
+    fp32_flops=19.5e12,
+    int_ops=19.5e12,
+    l2_bytes=40 * 1024 * 1024,
+)
+
+DEVICES = {d.name: d for d in (H100_PCIE, A100_SXM)}

@@ -1,0 +1,68 @@
+"""CB-GMRES solver stack (paper Fig. 1) and supporting numerics."""
+
+from .analysis import OrthogonalityTrace, basis_perturbation, trace_orthogonality
+from .basis import KrylovBasis
+from .calibration import CalibrationResult, calibrate_suite, calibrate_target
+from .fgmres import FlexibleGmres
+from .gmres import (
+    DEFAULT_MAX_ITER,
+    DEFAULT_RESTART,
+    CbGmres,
+    GmresResult,
+    ResidualSample,
+    SolveStats,
+)
+from .hessenberg import GivensLeastSquares
+from .orthogonal import (
+    DEFAULT_ETA,
+    OrthogonalizationResult,
+    cgs_orthogonalize,
+    mgs_orthogonalize,
+)
+from .preconditioner import (
+    BlockJacobiPreconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    Preconditioner,
+)
+from .predictor import (
+    BasisRiskFeatures,
+    FormatRecommendation,
+    exponent_spread_features,
+    predict_format,
+)
+from .problems import Problem, make_expected_solution, make_problem, make_rhs
+
+__all__ = [
+    "KrylovBasis",
+    "OrthogonalityTrace",
+    "basis_perturbation",
+    "trace_orthogonality",
+    "FlexibleGmres",
+    "CalibrationResult",
+    "calibrate_suite",
+    "calibrate_target",
+    "CbGmres",
+    "GmresResult",
+    "ResidualSample",
+    "SolveStats",
+    "DEFAULT_MAX_ITER",
+    "DEFAULT_RESTART",
+    "GivensLeastSquares",
+    "DEFAULT_ETA",
+    "OrthogonalizationResult",
+    "cgs_orthogonalize",
+    "mgs_orthogonalize",
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "BlockJacobiPreconditioner",
+    "BasisRiskFeatures",
+    "FormatRecommendation",
+    "exponent_spread_features",
+    "predict_format",
+    "Problem",
+    "make_expected_solution",
+    "make_problem",
+    "make_rhs",
+]

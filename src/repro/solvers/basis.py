@@ -1,0 +1,89 @@
+"""Krylov-basis storage through the Accessor interface.
+
+The basis ``V_{m+1}`` is the data structure CB-GMRES compresses: every
+new vector is written (compressed) once and read (decompressed) by every
+later orthogonalization and by the solution update — the highlighted
+sections of the paper's Fig. 1.
+
+Decompression is deterministic, so the basis keeps a float64 cache of
+the *decompressed* vectors: numerically identical to decompress-on-read,
+but the Python solver then runs on dense BLAS-2 operations.  The traffic
+a GPU would move is accounted analytically by the timing model from the
+iteration log (:class:`repro.solvers.gmres.SolveStats`), not from this
+cache.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from ..accessor import VectorAccessor, make_accessor
+
+__all__ = ["KrylovBasis"]
+
+
+class KrylovBasis:
+    """``m+1`` Krylov vectors of length ``n`` in a reduced storage format."""
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        storage: str = "float64",
+        accessor_factory: "Callable[[int], VectorAccessor] | None" = None,
+    ) -> None:
+        if m < 1:
+            raise ValueError("restart length m must be positive")
+        self.n = int(n)
+        self.m = int(m)
+        self.storage = storage
+        factory = accessor_factory or (lambda size: make_accessor(storage, size))
+        self.accessors: List[VectorAccessor] = [factory(n) for _ in range(m + 1)]
+        # decompressed view of every written vector (column j = V[:, j])
+        self._cache = np.zeros((n, m + 1), order="F")
+        self._written = 0
+
+    @property
+    def bits_per_value(self) -> float:
+        """Stored bits per basis value (storage-format footprint)."""
+        return self.accessors[0].bits_per_value
+
+    @property
+    def stored_vector_nbytes(self) -> int:
+        """Simulated device bytes of one stored basis vector."""
+        return self.accessors[0].stored_nbytes()
+
+    def write_vector(self, j: int, v: np.ndarray) -> None:
+        """Compress ``v`` into slot ``j`` and refresh the decompressed view."""
+        if not 0 <= j <= self.m:
+            raise IndexError(f"basis slot {j} out of range [0, {self.m}]")
+        acc = self.accessors[j]
+        acc.write(v)
+        self._cache[:, j] = acc.read()
+        self._written = max(self._written, j + 1)
+
+    def vector(self, j: int) -> np.ndarray:
+        """The decompressed basis vector ``v_j`` (lossy, read-only view)."""
+        if j >= self._written:
+            raise IndexError(f"basis slot {j} has not been written")
+        return self._cache[:, j]
+
+    def matrix(self, j: int) -> np.ndarray:
+        """The decompressed leading basis ``V_j`` as an (n, j) view."""
+        if j > self._written:
+            raise IndexError(f"only {self._written} basis vectors written")
+        return self._cache[:, :j]
+
+    def dot_basis(self, j: int, w: np.ndarray) -> np.ndarray:
+        """``V_j^T w`` — the orthogonalization read of Fig. 1 step 4."""
+        return self.matrix(j).T @ w
+
+    def combine(self, j: int, y: np.ndarray) -> np.ndarray:
+        """``V_j y`` — the solution-update read of Fig. 1 step 18."""
+        return self.matrix(j) @ y
+
+    def reset(self) -> None:
+        """Forget all vectors (used at restart)."""
+        self._written = 0

@@ -1,0 +1,203 @@
+"""Flexible GMRES with a compressed preconditioned basis (paper ref [17]).
+
+Agullo et al. ("Exploring variable accuracy storage through lossy
+compression ... a first application to flexible GMRES") proposed —
+almost simultaneously with CB-GMRES — compressing the *preconditioned*
+Krylov vectors ``z_j = M^-1 v_j`` inside flexible GMRES instead of the
+orthonormal basis itself.  The paper's related-work section summarizes
+the trade-off: "This improves the numerical stability at the price of
+reduced runtime benefits."
+
+Both effects are structural and this implementation reproduces them:
+
+* stability — the orthonormal basis ``V`` stays in full precision, so
+  the Arnoldi recurrence is undisturbed; compression errors only enter
+  through the solution update ``x = x0 + Z_m y``, where they act like a
+  slightly perturbed preconditioner (which flexible GMRES tolerates by
+  construction);
+* runtime — *two* bases are stored and streamed (``V`` uncompressed for
+  orthogonalization + ``Z`` compressed), so the memory-traffic savings
+  are roughly halved relative to CB-GMRES.
+
+The work log feeds the same GPU timing model; the
+``uncompressed_basis_reads`` counter carries the V-basis traffic that
+CB-GMRES would have compressed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..accessor import VectorAccessor
+from ..sparse.csr import CSRMatrix
+from .basis import KrylovBasis
+from .gmres import (
+    DEFAULT_MAX_ITER,
+    DEFAULT_RESTART,
+    GmresResult,
+    ResidualSample,
+    SolveStats,
+)
+from .hessenberg import GivensLeastSquares
+from .orthogonal import DEFAULT_ETA, cgs_orthogonalize
+from .preconditioner import IdentityPreconditioner, Preconditioner
+
+__all__ = ["FlexibleGmres"]
+
+
+class FlexibleGmres:
+    """Restarted FGMRES storing the preconditioned basis ``Z`` compressed.
+
+    Parameters mirror :class:`~repro.solvers.gmres.CbGmres`;
+    ``z_storage`` is the storage format of the preconditioned vectors
+    (the quantity ref [17] compresses), while the orthonormal basis ``V``
+    always stays in float64.
+    """
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        z_storage: str = "frsz2_32",
+        m: int = DEFAULT_RESTART,
+        eta: float = DEFAULT_ETA,
+        max_iter: int = DEFAULT_MAX_ITER,
+        stall_restarts: Optional[int] = 8,
+        preconditioner: Optional[Preconditioner] = None,
+        accessor_factory: "Callable[[int], VectorAccessor] | None" = None,
+    ) -> None:
+        if a.shape[0] != a.shape[1]:
+            raise ValueError("FGMRES requires a square matrix")
+        if m < 1:
+            raise ValueError("restart length must be positive")
+        self.a = a
+        self.z_storage = z_storage
+        self.m = int(m)
+        self.eta = float(eta)
+        self.max_iter = int(max_iter)
+        self.stall_restarts = stall_restarts
+        self.preconditioner = preconditioner or IdentityPreconditioner()
+        self._factory = accessor_factory
+
+    def solve(
+        self,
+        b: np.ndarray,
+        target_rrn: float,
+        x0: Optional[np.ndarray] = None,
+        record_history: bool = True,
+    ) -> GmresResult:
+        """Solve ``A x = b`` to the target relative residual norm."""
+        a = self.a
+        n = a.shape[0]
+        prec = self.preconditioner
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (n,):
+            raise ValueError(f"b must have shape ({n},)")
+        if target_rrn < 0:
+            raise ValueError("target_rrn must be non-negative")
+        bnorm = float(np.linalg.norm(b))
+        x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+
+        v_basis = KrylovBasis(n, self.m, "float64")
+        z_basis = KrylovBasis(n, self.m, self.z_storage, self._factory)
+        stats = SolveStats(n=n, nnz=a.nnz, bits_per_value=z_basis.bits_per_value)
+        history: List[ResidualSample] = []
+        if bnorm == 0.0:
+            return GmresResult(
+                x=np.zeros(n),
+                converged=True,
+                iterations=0,
+                final_rrn=0.0,
+                target_rrn=target_rrn,
+                storage=f"fgmres[{self.z_storage}]",
+                history=history,
+                stats=stats,
+            )
+
+        total_iters = 0
+        stagnant = 0
+        prev_explicit = np.inf
+        converged = False
+        stalled = False
+
+        while True:
+            r = b - a.matvec(x)
+            stats.spmv_calls += 1
+            stats.dense_vector_ops += 2
+            beta = float(np.linalg.norm(r))
+            rrn = beta / bnorm
+            if record_history:
+                history.append(ResidualSample(total_iters, rrn, "explicit"))
+            if rrn <= target_rrn:
+                converged = True
+                break
+            if total_iters >= self.max_iter:
+                break
+            if self.stall_restarts is not None and stats.restarts > 0:
+                if rrn > prev_explicit * 0.999:
+                    stagnant += 1
+                    if stagnant >= self.stall_restarts:
+                        stalled = True
+                        break
+                else:
+                    stagnant = 0
+            prev_explicit = min(prev_explicit, rrn)
+
+            v_basis.reset()
+            z_basis.reset()
+            v = r / beta
+            v_basis.write_vector(0, v)
+            # the V basis stays uncompressed: its traffic is float64
+            lsq = GivensLeastSquares(self.m, beta)
+
+            j_used = 0
+            for j in range(1, self.m + 1):
+                # z_{j-1} = M^-1 v_{j-1}, stored compressed (ref [17])
+                z = prec.apply(v) if not prec.is_identity else v.copy()
+                if not prec.is_identity:
+                    stats.preconditioner_applies += 1
+                z_basis.write_vector(j - 1, z)
+                stats.basis_writes += 1
+                w = a.matvec(z_basis.vector(j - 1))
+                stats.spmv_calls += 1
+                ores = cgs_orthogonalize(v_basis, j, w, self.eta)
+                # V reads are full float64 vectors (not compressed):
+                # accounted separately from the compressed Z traffic
+                stats.uncompressed_basis_reads += 2 * j if ores.reorthogonalized else j
+                stats.dense_vector_ops += 4
+                stats.reorthogonalizations += int(ores.reorthogonalized)
+                total_iters += 1
+                stats.iterations += 1
+                impl = lsq.append_column(ores.h, ores.h_next) / bnorm
+                j_used = j
+                if record_history:
+                    history.append(ResidualSample(total_iters, impl, "implicit"))
+                if ores.breakdown:
+                    break
+                v = ores.w / ores.h_next
+                v_basis.write_vector(j, v)
+                if impl <= target_rrn or total_iters >= self.max_iter:
+                    break
+
+            # x = x0 + Z_m y — the compressed basis is read here
+            y = lsq.solve()
+            x = x + z_basis.combine(j_used, y)
+            stats.basis_reads += j_used
+            stats.dense_vector_ops += 1
+            stats.restarts += 1
+
+        final_rrn = float(np.linalg.norm(b - a.matvec(x)) / bnorm)
+        stats.spmv_calls += 1
+        stats.bits_per_value = z_basis.bits_per_value
+        return GmresResult(
+            x=x,
+            converged=converged,
+            iterations=total_iters,
+            final_rrn=final_rrn,
+            target_rrn=target_rrn,
+            storage=f"fgmres[{self.z_storage}]",
+            history=history,
+            stats=stats,
+            stalled=stalled,
+        )

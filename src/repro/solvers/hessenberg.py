@@ -1,0 +1,94 @@
+"""Incremental Givens-rotation QR of the GMRES Hessenberg matrix.
+
+GMRES minimizes ``||beta e_1 - H_m y||`` (Fig. 1 step 18).  Applying one
+Givens rotation per Arnoldi step keeps the problem triangular and yields
+the *implicit* residual norm for free: after ``j`` steps the magnitude of
+the rotated right-hand side's last entry equals the current residual
+norm.  This is the quantity GMRES tracks between restarts — the paper's
+Fig. 9a jumps happen precisely because this estimate is only re-anchored
+by an explicit residual computation at each restart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GivensLeastSquares"]
+
+
+class GivensLeastSquares:
+    """Incremental solver for ``min_y ||beta e_1 - H y||_2``."""
+
+    def __init__(self, m: int, beta: float) -> None:
+        if m < 1:
+            raise ValueError("m must be positive")
+        self.m = m
+        # R is stored upper-triangular, column j filled at step j
+        self._r = np.zeros((m + 1, m))
+        self._cs = np.zeros(m)
+        self._sn = np.zeros(m)
+        self._g = np.zeros(m + 1)
+        self._g[0] = beta
+        self._j = 0
+
+    @property
+    def size(self) -> int:
+        """Number of columns absorbed so far."""
+        return self._j
+
+    @property
+    def residual_norm(self) -> float:
+        """Implicit residual norm ``|g_{j+1}|`` after ``j`` steps."""
+        return abs(float(self._g[self._j]))
+
+    def append_column(self, h: np.ndarray, h_next: float) -> float:
+        """Absorb Hessenberg column ``(h_{1:j,j}, h_{j+1,j})``.
+
+        Returns the updated implicit residual norm.
+        """
+        j = self._j
+        if j >= self.m:
+            raise RuntimeError("least-squares system is full")
+        col = np.zeros(self.m + 1)
+        col[: h.size] = h
+        col[h.size] = h_next
+        # apply the accumulated rotations to the new column
+        for i in range(j):
+            c, s = self._cs[i], self._sn[i]
+            t = c * col[i] + s * col[i + 1]
+            col[i + 1] = -s * col[i] + c * col[i + 1]
+            col[i] = t
+        # new rotation annihilating the subdiagonal entry
+        a, b = col[j], col[j + 1]
+        r = float(np.hypot(a, b))
+        if r == 0.0:
+            c, s = 1.0, 0.0
+        else:
+            c, s = a / r, b / r
+        self._cs[j], self._sn[j] = c, s
+        col[j], col[j + 1] = r, 0.0
+        # rotate the right-hand side
+        gj = self._g[j]
+        self._g[j] = c * gj
+        self._g[j + 1] = -s * gj
+        self._r[:, j] = col[: self.m + 1]
+        self._j += 1
+        return self.residual_norm
+
+    def solve(self) -> np.ndarray:
+        """Back-substitute for the minimizer ``y`` over the first j columns."""
+        j = self._j
+        if j == 0:
+            return np.zeros(0)
+        r = self._r[:j, :j]
+        y = np.zeros(j)
+        for i in range(j - 1, -1, -1):
+            s = self._g[i] - r[i, i + 1 :] @ y[i + 1 :]
+            diag = r[i, i]
+            if diag == 0.0:
+                # exact breakdown: the subspace already contains the
+                # solution; a zero component is the minimum-norm choice
+                y[i] = 0.0
+            else:
+                y[i] = s / diag
+        return y

@@ -1,0 +1,30 @@
+"""Sparse-matrix substrate: CSR/COO containers, vectorized SpMV,
+MatrixMarket I/O and the Table I synthetic matrix suite."""
+
+from .coo import COOMatrix
+from .csr import CSRMatrix, SpmvCounter
+from .io import read_matrix_market, write_matrix_market
+from .reorder import (
+    Permutation,
+    magnitude_ordering,
+    permute_system,
+    reverse_cuthill_mckee,
+)
+from .suite import SUITE, MatrixSpec, build_matrix, resolve_scale, suite_names
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "SpmvCounter",
+    "Permutation",
+    "magnitude_ordering",
+    "permute_system",
+    "reverse_cuthill_mckee",
+    "read_matrix_market",
+    "write_matrix_market",
+    "SUITE",
+    "MatrixSpec",
+    "build_matrix",
+    "resolve_scale",
+    "suite_names",
+]

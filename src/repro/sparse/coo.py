@@ -1,0 +1,78 @@
+"""COO (triplet) sparse-matrix builder.
+
+The assembly format used by the stencil generators and the MatrixMarket
+reader: unordered ``(row, col, value)`` triplets with duplicate entries
+summed on conversion — the usual finite-element/finite-volume assembly
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass
+class COOMatrix:
+    """Sparse matrix in coordinate form."""
+
+    shape: "tuple[int, int]"
+    rows: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if not (self.rows.shape == self.cols.shape == self.data.shape):
+            raise ValueError("rows, cols and data must have the same length")
+        m, n = self.shape
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= m:
+                raise ValueError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= n:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Stored triplets (before duplicate summing)."""
+        return self.data.size
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return a canonical COO: sorted by (row, col), duplicates summed,
+        explicit zeros kept (they are structurally meaningful)."""
+        if self.nnz == 0:
+            return COOMatrix(self.shape, self.rows, self.cols, self.data)
+        order = np.lexsort((self.cols, self.rows))
+        r, c, d = self.rows[order], self.cols[order], self.data[order]
+        # group boundaries where (row, col) changes
+        new_group = np.empty(r.size, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        starts = np.flatnonzero(new_group)
+        summed = np.add.reduceat(d, starts)
+        return COOMatrix(self.shape, r[starts], c[starts], summed)
+
+    def to_csr(self):
+        """Convert to CSR (duplicates summed)."""
+        from .csr import CSRMatrix
+
+        coo = self.sum_duplicates()
+        m, _ = self.shape
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.add.at(indptr, coo.rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(self.shape, indptr, coo.cols.copy(), coo.data.copy())
+
+    def to_dense(self) -> np.ndarray:
+        """Dense equivalent (tests / tiny examples only)."""
+        out = np.zeros(self.shape)
+        np.add.at(out, (self.rows, self.cols), self.data)
+        return out
+
+    def transpose(self) -> "COOMatrix":
+        return COOMatrix((self.shape[1], self.shape[0]), self.cols, self.rows, self.data)

@@ -1,0 +1,346 @@
+"""Deterministic synthetic analogs of the SuiteSparse CFD matrices.
+
+The paper evaluates on eleven computational-fluid-dynamics matrices from
+SuiteSparse (Table I).  Those files are not redistributable here, so each
+matrix gets a generator that reproduces the *properties the paper
+identifies as causal* for CB-GMRES behaviour:
+
+* ``atmosmod{d,j,l,m}`` — atmospheric modeling: large nonsymmetric 3-D
+  convection–diffusion stencils, well-scaled entries, tight 4e-16
+  targets.  These are the problems where storage-format precision
+  visibly separates the convergence curves (Fig. 8/9a).
+* ``cfd2`` — symmetric positive-definite pressure matrix.
+* ``lung2`` — small nonsymmetric coupled-transport problem.
+* ``parabolic_fem`` — parabolic FEM: mass + diffusion (``I + tau*L``),
+  very well conditioned.
+* ``PR02R`` / ``RM07R`` / ``HV15R`` — reactive-flow matrices whose
+  non-zeros span a huge dynamic range (Fig. 10: base-2 exponents from
+  −178 to 36 for PR02R).  We inject the range with row/column diagonal
+  scalings; the *spatial roughness* of the scaling differentiates PR02R
+  (i.i.d. rough → neighbouring Krylov entries differ wildly in
+  magnitude, FRSZ2's worst case) from HV15R (spatially smooth → block
+  exponents stay tight, FRSZ2 unaffected), matching the paper's
+  explanation of why PR02R hurts FRSZ2 while HV15R does not.
+* ``StocF-1465`` — porous-media flow with log-normal coefficient field;
+  ill-conditioned enough that a float16 basis cannot reach the target
+  (Fig. 7).
+
+Every generator is deterministic (seeded from the matrix name) and
+scalable; see :mod:`repro.sparse.suite` for the named size presets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = [
+    "rng_for",
+    "stencil_3d",
+    "stencil_2d",
+    "convection_diffusion_3d",
+    "poisson_3d",
+    "coupled_transport_1d",
+    "parabolic_fem_2d",
+    "scaled_reactive_flow",
+    "porous_media_3d",
+]
+
+
+def rng_for(name: str) -> np.random.Generator:
+    """Deterministic RNG derived from a matrix name."""
+    digest = hashlib.sha256(name.encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def _grid_index_3d(nx: int, ny: int, nz: int):
+    i, j, k = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    return (i * ny + j) * nz + k, i, j, k
+
+
+def stencil_3d(
+    nx: int,
+    ny: int,
+    nz: int,
+    center: np.ndarray,
+    offsets: Dict[str, np.ndarray],
+) -> CSRMatrix:
+    """Assemble a 7-point stencil with per-point coefficient fields.
+
+    ``offsets`` maps direction names (``xm, xp, ym, yp, zm, zp``) to
+    coefficient arrays of shape (nx, ny, nz); boundary entries are
+    dropped (homogeneous Dirichlet).
+    """
+    n = nx * ny * nz
+    idx, i, j, k = _grid_index_3d(nx, ny, nz)
+    rows = [idx.ravel()]
+    cols = [idx.ravel()]
+    data = [np.broadcast_to(center, (nx, ny, nz)).ravel()]
+    shifts = {
+        "xm": (-1, 0, 0),
+        "xp": (1, 0, 0),
+        "ym": (0, -1, 0),
+        "yp": (0, 1, 0),
+        "zm": (0, 0, -1),
+        "zp": (0, 0, 1),
+    }
+    for name, (di, dj, dk) in shifts.items():
+        if name not in offsets:
+            continue
+        coef = np.broadcast_to(offsets[name], (nx, ny, nz))
+        ii, jj, kk = i + di, j + dj, k + dk
+        inside = (
+            (ii >= 0) & (ii < nx) & (jj >= 0) & (jj < ny) & (kk >= 0) & (kk < nz)
+        )
+        nbr = (ii * ny + jj) * nz + kk
+        rows.append(idx[inside].ravel())
+        cols.append(nbr[inside].ravel())
+        data.append(coef[inside].ravel())
+    return COOMatrix(
+        (n, n),
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(data),
+    ).to_csr()
+
+
+def stencil_2d(nx: int, ny: int, center: float, off: float) -> CSRMatrix:
+    """Simple 5-point 2-D stencil (uniform coefficients)."""
+    n = nx * ny
+    i, j = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    idx = i * ny + j
+    rows = [idx.ravel()]
+    cols = [idx.ravel()]
+    data = [np.full(n, center)]
+    for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        ii, jj = i + di, j + dj
+        inside = (ii >= 0) & (ii < nx) & (jj >= 0) & (jj < ny)
+        rows.append(idx[inside].ravel())
+        cols.append((ii * ny + jj)[inside].ravel())
+        data.append(np.full(int(inside.sum()), off))
+    return COOMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(data)
+    ).to_csr()
+
+
+def convection_diffusion_3d(
+    nx: int,
+    ny: int,
+    nz: int,
+    peclet: "tuple[float, float, float]" = (0.4, 0.2, 0.1),
+    shift: float = 0.4,
+    name: str = "atmosmod",
+) -> CSRMatrix:
+    """Nonsymmetric convection–diffusion operator (atmosmod* analog).
+
+    Discretizes ``-lap(u) + v . grad(u) + shift*u`` with central
+    differences; ``peclet`` is the cell Peclet number per direction
+    (upstream/downstream asymmetry), ``shift`` a zeroth-order reaction
+    term that keeps the spectrum away from the origin, controlling the
+    unpreconditioned GMRES iteration count.  A mild smooth coefficient
+    variation makes the problem less of a textbook Laplacian.
+    """
+    rng = rng_for(name)
+    _, i, j, k = _grid_index_3d(nx, ny, nz)
+    # smooth diffusion-coefficient field in [0.8, 1.2]
+    phase = rng.uniform(0, 2 * np.pi, 3)
+    kap = 1.0 + 0.2 * np.sin(2 * np.pi * i / nx + phase[0]) * np.sin(
+        2 * np.pi * j / max(ny, 1) + phase[1]
+    ) * np.sin(2 * np.pi * k / max(nz, 1) + phase[2])
+    px, py, pz = peclet
+    offsets = {
+        "xm": -kap * (1.0 + px),
+        "xp": -kap * (1.0 - px),
+        "ym": -kap * (1.0 + py),
+        "yp": -kap * (1.0 - py),
+        "zm": -kap * (1.0 + pz),
+        "zp": -kap * (1.0 - pz),
+    }
+    center = 6.0 * kap + shift
+    return stencil_3d(nx, ny, nz, center, offsets)
+
+
+def poisson_3d(nx: int, ny: int, nz: int, shift: float = 0.0) -> CSRMatrix:
+    """SPD 7-point Laplacian (cfd2 pressure-matrix analog)."""
+    ones = np.ones((nx, ny, nz))
+    offsets = {d: -ones for d in ("xm", "xp", "ym", "yp", "zm", "zp")}
+    return stencil_3d(nx, ny, nz, 6.0 + shift, offsets)
+
+
+def coupled_transport_1d(n: int, species: int = 2, name: str = "lung2") -> CSRMatrix:
+    """Small nonsymmetric coupled-transport chain (lung2 analog).
+
+    ``species`` interleaved 1-D advection–diffusion chains with weak
+    cross-species coupling; pentadiagonal-ish, strongly diagonally
+    dominant, converges quickly like lung2 does.
+    """
+    rng = rng_for(name)
+    rows, cols, data = [], [], []
+    idx = np.arange(n)
+    adv = 0.5 + 0.3 * np.sin(2 * np.pi * idx / n)
+    rows.append(idx)
+    cols.append(idx)
+    data.append(np.full(n, 4.0) + 0.5 * rng.random(n))
+    # within-chain neighbours at distance `species`
+    left = idx - species
+    ok = left >= 0
+    rows.append(idx[ok])
+    cols.append(left[ok])
+    data.append(-(1.0 + adv[ok]))
+    right = idx + species
+    ok = right < n
+    rows.append(idx[ok])
+    cols.append(right[ok])
+    data.append(-(1.0 - adv[ok]))
+    # weak cross-species coupling at distance 1
+    nxt = idx + 1
+    ok = nxt < n
+    rows.append(idx[ok])
+    cols.append(nxt[ok])
+    data.append(np.full(int(ok.sum()), -0.1))
+    prv = idx - 1
+    ok = prv >= 0
+    rows.append(idx[ok])
+    cols.append(prv[ok])
+    data.append(np.full(int(ok.sum()), -0.1))
+    return COOMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(data)
+    ).to_csr()
+
+
+def parabolic_fem_2d(nx: int, ny: int, tau: float = 0.1) -> CSRMatrix:
+    """Implicit-Euler parabolic operator ``I + tau * L`` (parabolic_fem
+    analog): SPD and very well conditioned, so every storage format
+    converges in nearly the same iterations."""
+    lap = stencil_2d(nx, ny, 4.0, -1.0)
+    data = lap.data * tau
+    diag_mask = lap.indices == lap._rows
+    data[diag_mask] += 1.0
+    return CSRMatrix(lap.shape, lap.indptr.copy(), lap.indices.copy(), data)
+
+
+def spike_scaling_masks(
+    n: int,
+    frac: float,
+    clustered: bool,
+    rng: np.random.Generator,
+    cluster_len: int = 256,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Two disjoint row subsets carrying the extreme scale spikes.
+
+    ``clustered=False`` scatters the subsets i.i.d. over the unknowns;
+    ``clustered=True`` places them in contiguous runs of ``cluster_len``
+    (so that, after normalization, neighbouring Krylov entries share a
+    magnitude — the HV15R "friendly ordering" of the paper's Section
+    VI-A discussion).
+    """
+    if clustered:
+        m1 = np.zeros(n, dtype=bool)
+        m2 = np.zeros(n, dtype=bool)
+        period = max(int(cluster_len / frac), 3 * cluster_len)
+        for start in range(0, n, period):
+            m1[start : start + cluster_len] = True
+            m2[start + 2 * cluster_len : start + 3 * cluster_len] = True
+    else:
+        u = rng.random(n)
+        m1 = u < frac
+        m2 = (u >= frac) & (u < 2 * frac)
+    return m1, m2
+
+
+def scaled_reactive_flow(
+    nx: int,
+    ny: int,
+    nz: int,
+    spike1: float = 1e9,
+    spike2: float = 1e8,
+    frac: float = 1.0 / 16.0,
+    roughness: str = "rough",
+    peclet: "tuple[float, float, float]" = (0.5, 0.3, 0.2),
+    shift: float = 0.02,
+    name: str = "PR02R",
+) -> CSRMatrix:
+    """Reactive-flow analog with huge entry dynamic range (PR02R family).
+
+    A convection–diffusion core is scaled ``diag(dr) A diag(1/dr)`` where
+    ``dr`` carries two disjoint spike subsets of magnitudes ``spike1``
+    and ``spike2`` (each on a ``frac`` fraction of rows).  The inverse
+    column scaling keeps the system solvable in float64 while the Krylov
+    vectors mix magnitudes separated by up to ``spike1``:
+
+    * ``roughness="rough"`` (PR02R) — spikes scattered i.i.d.: most
+      32-element FRSZ2 blocks contain a dominant entry whose shared
+      exponent wipes out the neighbours' significands (``spike1 >
+      2^31``), producing the Fig. 9b stagnation; float32's per-value
+      exponents are unaffected; float16's narrow range loses the small
+      magnitudes entirely and never converges (Fig. 7).
+    * ``roughness="smooth"`` (HV15R) — spikes in contiguous clusters:
+      the same value histogram, but block exponents stay tight and
+      FRSZ2 matches float64, reproducing the paper's PR02R-vs-HV15R
+      contrast.
+    * ``roughness="medium"`` (RM07R) — scattered but moderate spikes
+      (scaled down 1000x): every storage format converges with modest
+      overhead.
+    """
+    if roughness not in ("rough", "smooth", "medium"):
+        raise ValueError("roughness must be rough, smooth or medium")
+    core = convection_diffusion_3d(nx, ny, nz, peclet=peclet, shift=shift, name=name)
+    rng = rng_for(name)
+    n = core.shape[0]
+    if roughness == "medium":
+        spike1, spike2 = spike1 / 1000.0, spike2 / 1000.0
+    m1, m2 = spike_scaling_masks(n, frac, roughness == "smooth", rng)
+    dr = np.where(m1, spike1, np.where(m2, spike2, 1.0))
+    return core.scale_rows_cols(dr, 1.0 / dr)
+
+
+def porous_media_3d(
+    nx: int,
+    ny: int,
+    nz: int,
+    sigma: float = 2.0,
+    spike: float = 0.0,
+    frac: float = 1.0 / 16.0,
+    name: str = "StocF-1465",
+) -> CSRMatrix:
+    """Porous-media flow analog (StocF-1465): diffusion with a log-normal
+    permeability field (harmonic-mean face coefficients, SPD core).
+
+    An optional scattered spike scaling (``spike > 0``) mimics the
+    extreme local permeability contrasts of the real reservoir problem;
+    it is what defeats the float16 Krylov basis in Fig. 7 while float64,
+    float32 and frsz2_32 all reach the 4e-6 target."""
+    rng = rng_for(name)
+    logk = rng.normal(0.0, sigma, (nx, ny, nz))
+    # mild spatial smoothing for a correlated permeability field
+    for axis in range(3):
+        logk = 0.5 * logk + 0.25 * (np.roll(logk, 1, axis) + np.roll(logk, -1, axis))
+    kfield = np.exp(logk)
+
+    def face(axis: int, direction: int) -> np.ndarray:
+        shifted = np.roll(kfield, -direction, axis)
+        return 2.0 * kfield * shifted / (kfield + shifted)
+
+    offsets = {}
+    center = np.zeros((nx, ny, nz))
+    for ax, (mname, pname) in enumerate((("xm", "xp"), ("ym", "yp"), ("zm", "zp"))):
+        fm = face(ax, -1)
+        fp = face(ax, 1)
+        offsets[mname] = -fm
+        offsets[pname] = -fp
+        center = center + fm + fp
+    # small reaction term for definiteness at the boundary
+    core = stencil_3d(nx, ny, nz, center + 1e-3, offsets)
+    if spike <= 0.0:
+        return core
+    srng = rng_for(name + "-scale")
+    mask = srng.random(core.shape[0]) < frac
+    dr = np.where(mask, spike, 1.0)
+    return core.scale_rows_cols(dr, 1.0 / dr)

@@ -1,0 +1,82 @@
+"""MatrixMarket coordinate-format I/O.
+
+SuiteSparse (paper ref [11]) distributes matrices as MatrixMarket files;
+this reader/writer lets users run the solvers on the paper's actual
+matrices when they have them, and lets the test suite round-trip the
+synthetic analogs.  Supports ``matrix coordinate real/integer
+general/symmetric/skew-symmetric`` and ``pattern`` headers.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_FIELDS = {"real", "integer", "pattern"}
+_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open(path: Union[str, Path], mode: str) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_matrix_market(path: Union[str, Path]) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into CSR."""
+    with _open(path, "r") as fh:
+        header = fh.readline().strip().split()
+        if (
+            len(header) != 5
+            or header[0] != "%%MatrixMarket"
+            or header[1] != "matrix"
+            or header[2] != "coordinate"
+        ):
+            raise ValueError("not a MatrixMarket coordinate file")
+        field, symmetry = header[3].lower(), header[4].lower()
+        if field not in _FIELDS:
+            raise ValueError(f"unsupported field {field!r}")
+        if symmetry not in _SYMMETRIES:
+            raise ValueError(f"unsupported symmetry {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        m, n, nnz = (int(t) for t in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            data[k] = 1.0 if field == "pattern" else float(parts[2])
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows, cols, data = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+            np.concatenate([data, sign * data[off]]),
+        )
+    return COOMatrix((m, n), rows, cols, data).to_csr()
+
+
+def write_matrix_market(path: Union[str, Path], matrix: CSRMatrix) -> None:
+    """Write a CSR matrix as ``matrix coordinate real general``."""
+    coo = matrix.to_coo()
+    with _open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write("% written by repro (FRSZ2 reproduction)\n")
+        fh.write(f"{matrix.shape[0]} {matrix.shape[1]} {coo.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.data):
+            # repr of a Python float round-trips the value exactly
+            fh.write(f"{r + 1} {c + 1} {float(v)!r}\n")

@@ -1,0 +1,104 @@
+"""Tests for the orthogonality/perturbation analysis instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    CbGmres,
+    basis_perturbation,
+    make_problem,
+    trace_orthogonality,
+)
+
+
+def unit_vector(n=3200, seed=0):
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(n)
+    return v / np.linalg.norm(v)
+
+
+class TestBasisPerturbation:
+    def test_float64_is_exact(self):
+        assert basis_perturbation("float64", unit_vector()) == 0.0
+
+    def test_ordering_matches_significand_bits(self):
+        """The mechanism behind Fig. 8's ordering: per-write perturbation
+        frsz2_32 < float32 < float16."""
+        v = unit_vector()
+        p_frsz2 = basis_perturbation("frsz2_32", v)
+        p32 = basis_perturbation("float32", v)
+        p16 = basis_perturbation("float16", v)
+        assert 0 < p_frsz2 < p32 < p16
+
+    def test_scale_of_perturbations(self):
+        v = unit_vector(seed=1)
+        assert basis_perturbation("frsz2_32", v) < 1e-8
+        assert basis_perturbation("float16", v) > 1e-5
+
+
+class TestMonitorHook:
+    def test_monitor_called_every_iteration(self):
+        p = make_problem("lung2", "smoke")
+        calls = []
+        CbGmres(p.a).solve(
+            p.b, p.target_rrn, monitor=lambda it, j, basis, impl: calls.append((it, j))
+        )
+        assert len(calls) > 0
+        its = [c[0] for c in calls]
+        assert its == sorted(its)
+        # j counts up within a cycle
+        assert calls[0][1] == 1
+
+    def test_monitor_sees_live_basis(self):
+        p = make_problem("lung2", "smoke")
+        seen = []
+
+        def monitor(it, j, basis, impl):
+            seen.append(basis.matrix(j).shape)
+
+        CbGmres(p.a, m=10).solve(p.b, p.target_rrn, monitor=monitor)
+        assert seen[0] == (p.a.n, 1)
+        assert all(s[0] == p.a.n for s in seen)
+
+
+class TestOrthogonalityTrace:
+    def test_float64_basis_stays_orthogonal(self):
+        p = make_problem("atmosmodd", "smoke")
+        t = trace_orthogonality(p.a, p.b, "float64", p.target_rrn, sample_every=3)
+        assert t.worst_orthogonality < 1e-12
+        assert t.worst_norm_drift < 1e-12
+        assert t.result.converged
+
+    def test_loss_ordering_explains_iteration_ordering(self):
+        """Orthogonality decay orders exactly like Fig. 8's iterations."""
+        p = make_problem("atmosmodd", "smoke")
+        worst = {}
+        iters = {}
+        for fmt in ("float64", "frsz2_32", "float32", "float16"):
+            t = trace_orthogonality(p.a, p.b, fmt, p.target_rrn, sample_every=5)
+            worst[fmt] = t.worst_orthogonality
+            iters[fmt] = t.result.iterations
+        assert (
+            worst["float64"]
+            < worst["frsz2_32"]
+            < worst["float32"]
+            < worst["float16"]
+        )
+        assert (
+            iters["float64"]
+            <= iters["frsz2_32"]
+            <= iters["float32"]
+            <= iters["float16"]
+        )
+
+    def test_sampling_interval_respected(self):
+        p = make_problem("lung2", "smoke")
+        t = trace_orthogonality(p.a, p.b, "float32", p.target_rrn, sample_every=4)
+        assert all(i % 4 == 0 for i in t.iterations)
+
+    def test_empty_trace_properties(self):
+        from repro.solvers.analysis import OrthogonalityTrace
+
+        t = OrthogonalityTrace(storage="x")
+        assert t.worst_orthogonality == 0.0
+        assert t.worst_norm_drift == 0.0

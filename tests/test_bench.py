@@ -1,0 +1,135 @@
+"""Tests for the benchmark harness (report rendering + experiment drivers)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    FIG7_FORMATS,
+    format_histogram,
+    format_series,
+    format_table,
+    krylov_histograms,
+    krylov_vectors,
+    matrix_exponent_histogram,
+    solve_with_storage,
+    table1_rows,
+    table2_rows,
+)
+from repro.sparse import suite_names
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table("t", ["a", "bb"], [[1, 2.5], ["x", 3.0]])
+        lines = out.splitlines()
+        assert lines[0] == "== t =="
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_alignment(self):
+        out = format_table("t", ["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[3]) >= len("a-much-longer-cell")
+
+    def test_float_formatting(self):
+        out = format_table("t", ["v"], [[1.23456789e-12], [0.0], [float("nan")]])
+        assert "1.23e-12" in out
+        assert "-" in out  # nan cell
+
+    def test_empty_rows(self):
+        out = format_table("t", ["a"], [])
+        assert "== t ==" in out
+
+
+class TestFormatSeries:
+    def test_merges_series_on_x(self):
+        out = format_series(
+            "s", "x", {"a": [(0, 1.0), (1, 2.0)], "b": [(1, 3.0)]}
+        )
+        lines = out.splitlines()
+        assert "x" in lines[1] and "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 2 + 1 + 2  # title, header, rule, two x rows
+
+    def test_downsampling(self):
+        pts = [(i, float(i)) for i in range(1000)]
+        out = format_series("s", "x", {"a": pts}, max_points=10)
+        assert len(out.splitlines()) <= 14
+
+
+class TestFormatHistogram:
+    def test_bars_scale_with_counts(self):
+        out = format_histogram("h", [0, 1], [10, 5], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_empty(self):
+        out = format_histogram("h", [], [])
+        assert out == "== h =="
+
+
+class TestTableDrivers:
+    def test_table1_covers_suite(self):
+        rows = table1_rows("smoke")
+        assert [r[0] for r in rows] == suite_names()
+        for r in rows:
+            assert r[1] > 0 and r[2] > 0  # size, nnz
+            assert r[5] > 0  # target
+
+    def test_table2_has_nine_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 9
+        assert ("sz3_08", "absolute", "1e-08") in rows
+
+
+class TestKrylovCapture:
+    def test_vectors_are_normalized(self):
+        vecs = krylov_vectors("lung2", (0, 3), scale="smoke")
+        assert set(vecs) == {0, 3}
+        for v in vecs.values():
+            assert np.linalg.norm(v) == pytest.approx(1.0, rel=1e-10)
+
+    def test_vectors_are_orthogonal(self):
+        vecs = krylov_vectors("lung2", (0, 1, 2, 3), scale="smoke")
+        vs = [vecs[i] for i in sorted(vecs)]
+        for i in range(len(vs)):
+            for j in range(i + 1, len(vs)):
+                assert abs(vs[i] @ vs[j]) < 1e-10
+
+    def test_histograms_structure(self):
+        data = krylov_histograms("lung2", (0, 2), scale="smoke", value_bins=11)
+        assert set(data) == {0, 2}
+        hist, edges, exp_vals, exp_counts = data[0]
+        assert hist.size == 11 and edges.size == 12
+        assert exp_counts.sum() > 0
+
+
+class TestMatrixExponentHistogram:
+    def test_pr02r_wide(self):
+        edges, hist = matrix_exponent_histogram("PR02R", scale="smoke")
+        assert hist.sum() > 0
+        assert edges[-1] - edges[0] > 40
+
+    def test_bins_cover_all_entries(self):
+        edges, hist = matrix_exponent_histogram("lung2", scale="smoke")
+        from repro.sparse import build_matrix
+
+        a = build_matrix("lung2", "smoke")
+        assert hist.sum() == np.count_nonzero(a.data)
+
+
+class TestSolveDriver:
+    def test_solve_with_storage(self):
+        res = solve_with_storage("lung2", "frsz2_32", scale="smoke")
+        assert res.converged
+        assert res.storage == "frsz2_32"
+
+    def test_target_override(self):
+        res = solve_with_storage("lung2", "float64", scale="smoke", target_rrn=1e-3)
+        assert res.converged
+        assert res.target_rrn == 1e-3
+
+    def test_fig7_formats_constant(self):
+        assert FIG7_FORMATS == ("float64", "float32", "float16", "frsz2_32")

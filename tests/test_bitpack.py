@@ -1,0 +1,160 @@
+"""Unit and property tests for the bit-stream packing substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitpack
+
+
+class TestWordsNeeded:
+    def test_exact_multiples(self):
+        assert bitpack.words_needed(0) == 0
+        assert bitpack.words_needed(32) == 1
+        assert bitpack.words_needed(64) == 2
+
+    def test_rounds_up(self):
+        assert bitpack.words_needed(1) == 1
+        assert bitpack.words_needed(33) == 2
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bitpack.words_needed(-1)
+
+
+class TestPackUnpackFields:
+    @pytest.mark.parametrize("width", [1, 3, 8, 13, 16, 21, 24, 31, 32])
+    def test_roundtrip_narrow_widths(self, width):
+        rng = np.random.default_rng(width)
+        n = 257
+        fields = rng.integers(0, 1 << width, n, dtype=np.uint64)
+        words = bitpack.pack_fields(fields, width)
+        assert words.size == bitpack.words_needed(n * width)
+        out = bitpack.unpack_fields(words, n, width)
+        assert np.array_equal(out, fields)
+
+    @pytest.mark.parametrize("width", [33, 48, 53, 63, 64])
+    def test_roundtrip_wide_widths(self, width):
+        rng = np.random.default_rng(width)
+        n = 101
+        if width == 64:
+            fields = rng.integers(0, 1 << 63, n, dtype=np.uint64) * 2 + 1
+        else:
+            fields = rng.integers(0, 1 << width, n, dtype=np.uint64)
+        words = bitpack.pack_fields(fields, width)
+        out = bitpack.unpack_fields(words, n, width)
+        assert np.array_equal(out, fields)
+
+    def test_empty_input(self):
+        words = bitpack.pack_fields(np.zeros(0, dtype=np.uint64), 21)
+        assert words.size == 0
+        out = bitpack.unpack_fields(words, 0, 21)
+        assert out.size == 0
+
+    def test_single_field(self):
+        words = bitpack.pack_fields(np.array([0x1FFFFF], dtype=np.uint64), 21)
+        assert bitpack.unpack_fields(words, 1, 21)[0] == 0x1FFFFF
+
+    def test_known_layout_lsb_first(self):
+        # two 16-bit fields share the first word, little-endian bit order
+        words = bitpack.pack_fields(np.array([0x1234, 0xABCD], dtype=np.uint64), 16)
+        assert words[0] == np.uint32(0xABCD1234)
+
+    def test_straddling_layout(self):
+        # 21-bit fields: second field straddles words 0 and 1
+        f = np.array([0x1FFFFF, 0x000001], dtype=np.uint64)
+        words = bitpack.pack_fields(f, 21)
+        assert words[0] == np.uint32((1 << 21) | 0x1FFFFF)
+        assert words[1] == np.uint32(0)
+
+
+class TestPackAt:
+    def test_value_wider_than_declared_raises(self):
+        words = np.zeros(2, dtype=np.uint32)
+        with pytest.raises(ValueError):
+            bitpack.pack_at(
+                words, np.array([0]), np.array([4], dtype=np.uint64), 2
+            )
+
+    def test_out_of_stream_raises(self):
+        words = np.zeros(1, dtype=np.uint32)
+        with pytest.raises(ValueError):
+            bitpack.pack_at(
+                words, np.array([20]), np.array([1], dtype=np.uint64), 16
+            )
+
+    def test_negative_position_raises(self):
+        words = np.zeros(1, dtype=np.uint32)
+        with pytest.raises(ValueError):
+            bitpack.pack_at(
+                words, np.array([-1]), np.array([1], dtype=np.uint64), 4
+            )
+
+    def test_wrong_dtype_raises(self):
+        with pytest.raises(TypeError):
+            bitpack.pack_at(
+                np.zeros(1, dtype=np.uint64),
+                np.array([0]),
+                np.array([1], dtype=np.uint64),
+                4,
+            )
+
+    def test_mixed_widths(self):
+        words = np.zeros(4, dtype=np.uint32)
+        fields = np.array([0b101, 0x7FFF, 1, 0xFFFFFFFF], dtype=np.uint64)
+        widths = np.array([3, 15, 1, 32])
+        bitpos = np.concatenate([[0], np.cumsum(widths)[:-1]])
+        bitpack.pack_at(words, bitpos, fields, widths)
+        out = bitpack.unpack_at(words, bitpos, widths)
+        assert np.array_equal(out, fields)
+
+    def test_word_aligned_blocks(self):
+        # mimic the FRSZ2 layout: each block starts word aligned
+        width, bs, wpb = 21, 4, 3  # ceil(4*21/32) == 3
+        nblocks = 5
+        rng = np.random.default_rng(3)
+        fields = rng.integers(0, 1 << width, bs * nblocks, dtype=np.uint64)
+        idx = np.arange(bs * nblocks)
+        bitpos = (idx // bs) * wpb * 32 + (idx % bs) * width
+        words = np.zeros(nblocks * wpb, dtype=np.uint32)
+        bitpack.pack_at(words, bitpos, fields, width)
+        assert np.array_equal(bitpack.unpack_at(words, bitpos, width), fields)
+
+    def test_unpack_empty(self):
+        out = bitpack.unpack_at(np.zeros(1, dtype=np.uint32), np.zeros(0, dtype=np.int64), 8)
+        assert out.size == 0
+
+
+@st.composite
+def field_arrays(draw):
+    width = draw(st.integers(min_value=1, max_value=64))
+    n = draw(st.integers(min_value=1, max_value=80))
+    max_val = (1 << width) - 1
+    vals = draw(
+        st.lists(st.integers(min_value=0, max_value=max_val), min_size=n, max_size=n)
+    )
+    return width, np.array(vals, dtype=np.uint64)
+
+
+class TestPackProperty:
+    @given(field_arrays())
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_any_width(self, case):
+        width, fields = case
+        words = bitpack.pack_fields(fields, width)
+        assert np.array_equal(bitpack.unpack_fields(words, fields.size, width), fields)
+
+    @given(field_arrays())
+    @settings(max_examples=80, deadline=None)
+    def test_stream_matches_big_integer_model(self, case):
+        """The packed stream must equal the mathematical bit concatenation."""
+        width, fields = case
+        words = bitpack.pack_fields(fields, width)
+        model = 0
+        for i, f in enumerate(fields.tolist()):
+            model |= f << (i * width)
+        got = 0
+        for i, w in enumerate(words.tolist()):
+            got |= w << (32 * i)
+        assert got == model

@@ -1,0 +1,117 @@
+"""Tests for block layout and Eq. (3) storage accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import DEFAULT_BLOCK_SIZE, BlockLayout
+
+
+class TestValidation:
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError):
+            BlockLayout(-1)
+
+    def test_zero_block_size_raises(self):
+        with pytest.raises(ValueError):
+            BlockLayout(10, block_size=0)
+
+    @pytest.mark.parametrize("l", [0, 1, 65])
+    def test_bad_bit_length_raises(self, l):
+        with pytest.raises(ValueError):
+            BlockLayout(10, bit_length=l)
+
+
+class TestGeometry:
+    def test_default_block_size_is_warp(self):
+        assert DEFAULT_BLOCK_SIZE == 32
+        assert BlockLayout(100).block_size == 32
+
+    def test_num_blocks_rounds_up(self):
+        assert BlockLayout(33, block_size=32).num_blocks == 2
+        assert BlockLayout(32, block_size=32).num_blocks == 1
+        assert BlockLayout(0, block_size=32).num_blocks == 0
+
+    def test_words_per_block_aligned(self):
+        assert BlockLayout(32, 32, 32).words_per_block == 32
+        assert BlockLayout(32, 32, 16).words_per_block == 16
+
+    def test_words_per_block_straddling(self):
+        # 32 values * 21 bits = 672 bits = 21 words exactly
+        assert BlockLayout(32, 32, 21).words_per_block == 21
+        # 32 values * 13 bits = 416 bits = 13 words
+        assert BlockLayout(32, 32, 13).words_per_block == 13
+
+    def test_is_aligned(self):
+        assert BlockLayout(1, 32, 16).is_aligned
+        assert BlockLayout(1, 32, 32).is_aligned
+        assert not BlockLayout(1, 32, 21).is_aligned
+        assert not BlockLayout(1, 32, 2).is_aligned  # 2 < 8: packed path
+
+    def test_block_range_last_block_short(self):
+        layout = BlockLayout(70, block_size=32)
+        assert list(layout.block_range(2)) == list(range(64, 70))
+
+
+class TestStorageEquation3:
+    def test_paper_example_33_bits_per_value(self):
+        """BS=32, l=32 -> (32*32 + 32)/32 = 33 bits/value (Section IV-C)."""
+        layout = BlockLayout(32 * 1000, 32, 32)
+        assert layout.bits_per_value == pytest.approx(33.0)
+
+    def test_frsz2_16_bits_per_value(self):
+        layout = BlockLayout(32 * 1000, 32, 16)
+        assert layout.bits_per_value == pytest.approx(17.0)
+
+    def test_frsz2_21_bits_per_value(self):
+        # 21 words/block * 32 bits + 32 exponent bits over 32 values
+        layout = BlockLayout(32 * 1000, 32, 21)
+        assert layout.bits_per_value == pytest.approx((21 * 32 + 32) / 32)
+
+    def test_total_bytes_matches_eq3(self):
+        n, bs, l = 1000, 32, 21
+        layout = BlockLayout(n, bs, l)
+        nb = -(-n // bs)
+        expected = nb * (-(-(bs * l) // 32)) * 4 + nb * 4
+        assert layout.total_nbytes == expected
+
+    def test_empty_layout(self):
+        layout = BlockLayout(0)
+        assert layout.total_nbytes == 0
+        assert layout.bits_per_value == 0.0
+
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=2, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_storage_bounds(self, n, bs, l):
+        layout = BlockLayout(n, bs, l)
+        # payload always fits; overhead is bounded by last-block padding
+        # (up to bs-1 unused slots) plus word alignment (< 32 bits/block)
+        payload_bits = n * l
+        nb = layout.num_blocks
+        assert layout.value_nbytes * 8 >= payload_bits
+        assert layout.value_nbytes * 8 < nb * bs * l + nb * 32
+        assert layout.exponent_nbytes == 4 * nb
+
+
+class TestBitPositions:
+    def test_value_bit_position(self):
+        layout = BlockLayout(100, 32, 21)
+        block, pos = layout.value_bit_position(33)
+        assert block == 1
+        assert pos == layout.words_per_block * 32 + 21
+
+    def test_positions_monotonic_within_block(self):
+        layout = BlockLayout(64, 32, 21)
+        pos = [layout.value_bit_position(i)[1] for i in range(64)]
+        assert pos == sorted(pos)
+        assert len(set(pos)) == 64
+
+    def test_blocks_word_aligned(self):
+        layout = BlockLayout(96, 32, 21)
+        for b in range(3):
+            assert layout.block_bit_start(b) % 32 == 0

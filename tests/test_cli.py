@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve", "atmosmodd"])
+        assert args.storage == "frsz2_32"
+        assert args.max_iter == 20_000
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "atmosmodd" in out
+        assert "frsz2_32" in out
+        assert "sz3_08" in out
+
+    def test_solve_converges(self, capsys):
+        assert main(["solve", "lung2", "--storage", "frsz2_32"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "modeled H100 time" in out
+
+    def test_solve_exit_code_on_failure(self, capsys):
+        # absurdly tight target cannot be met within 20 iterations
+        rc = main(["solve", "lung2", "--target", "1e-300", "--max-iter", "20"])
+        assert rc == 1
+
+    def test_solve_with_jacobi(self, capsys):
+        assert main(["solve", "lung2", "--jacobi"]) == 0
+
+    def test_compress_random(self, capsys):
+        assert main(["compress", "--format", "frsz2_16", "--n", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "bits/value" in out
+
+    def test_compress_npy_input(self, tmp_path, capsys):
+        path = tmp_path / "x.npy"
+        np.save(path, np.linspace(-1, 1, 500))
+        assert main(["compress", "--input", str(path), "--format", "zfp_fr_32"]) == 0
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+
+    def test_experiment_fig10(self, capsys):
+        assert main(["experiment", "fig10"]) == 0
+        assert "PR02R" in capsys.readouterr().out
+
+    def test_experiment_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "frsz2_32" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_predict(self, capsys):
+        assert main(["predict", "PR02R"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended storage" in out
+        assert "screened out" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--max-iter", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration" in out
+        assert "atmosmodd" in out

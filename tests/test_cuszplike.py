@@ -1,0 +1,140 @@
+"""Tests for the cuSZp2-like block-parallel comparator compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import CuSZpLike, make_compressor
+from repro.compressors.cuszplike import _bit_width, _unzigzag, _zigzag
+from repro.compressors.metrics import max_abs_error
+
+
+def krylov_vector(n=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    return x / np.linalg.norm(x)
+
+
+class TestZigZag:
+    def test_known_values(self):
+        v = np.array([0, -1, 1, -2, 2], dtype=np.int64)
+        assert _zigzag(v).tolist() == [0, 1, 2, 3, 4]
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        v = rng.integers(-(1 << 50), 1 << 50, 1000)
+        assert np.array_equal(_unzigzag(_zigzag(v)), v)
+
+    @given(st.integers(min_value=-(1 << 52), max_value=1 << 52))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, v):
+        arr = np.array([v], dtype=np.int64)
+        assert _unzigzag(_zigzag(arr))[0] == v
+
+    def test_bit_width(self):
+        u = np.array([0, 1, 2, 3, 255, 256], dtype=np.uint64)
+        assert _bit_width(u).tolist() == [0, 1, 2, 2, 8, 9]
+
+
+class TestBound:
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            CuSZpLike(0.0)
+
+    @pytest.mark.parametrize("eb", [1e-3, 1e-6, 1e-9])
+    def test_absolute_bound_holds(self, eb):
+        x = krylov_vector()
+        y = CuSZpLike(eb).roundtrip(x)
+        assert max_abs_error(x, y) <= eb * (1 + 1e-9)
+
+    def test_outliers_exact(self):
+        x = np.array([1e200, 0.5, -1e190, 0.25])
+        y = CuSZpLike(1e-8).roundtrip(x)
+        assert y[0] == 1e200 and y[2] == -1e190
+
+    def test_zeros_exact(self):
+        assert np.array_equal(CuSZpLike(1e-6).roundtrip(np.zeros(100)), np.zeros(100))
+
+    def test_empty(self):
+        comp = CuSZpLike(1e-6)
+        assert comp.decompress(comp.compress(np.zeros(0))).size == 0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_bound(self, vals):
+        x = np.array(vals)
+        y = CuSZpLike(1e-5).roundtrip(x)
+        assert max_abs_error(x, y) <= 1e-5 * (1 + 1e-9)
+
+
+class TestSize:
+    def test_smooth_data_compresses_well(self):
+        t = np.linspace(0, 8 * np.pi, 32 * 256)
+        buf = CuSZpLike(1e-6).compress(np.sin(t))
+        assert buf.bits_per_value < 16
+
+    def test_per_block_widths_adapt(self):
+        # half the blocks constant (width ~0), half noisy
+        x = np.zeros(32 * 100)
+        x[32 * 50 :] = krylov_vector(32 * 50, seed=2)
+        buf = CuSZpLike(1e-6).compress(x)
+        w = buf.meta["widths"]
+        assert w[:50].max() <= 1
+        assert w[50:].min() > 5
+
+    def test_size_accounts_all_streams(self):
+        x = krylov_vector(1000, seed=3)
+        buf = CuSZpLike(1e-7).compress(x)
+        total = sum(len(v) for v in buf.streams.values()) + buf.header_nbytes
+        assert buf.nbytes == total
+
+
+class TestStrictDecode:
+    def test_strict_equals_fast(self):
+        x = krylov_vector(777, seed=4)
+        comp = CuSZpLike(1e-7)
+        buf = comp.compress(x)
+        assert np.array_equal(comp.decompress(buf), comp.decompress(buf, strict=True))
+
+    def test_strict_with_outliers(self):
+        x = krylov_vector(100, seed=5)
+        x[17] = -1e250
+        comp = CuSZpLike(1e-9)
+        buf = comp.compress(x)
+        assert np.array_equal(comp.decompress(buf), comp.decompress(buf, strict=True))
+
+    def test_partial_block(self):
+        x = krylov_vector(33, seed=6)  # one full + one 1-value block
+        comp = CuSZpLike(1e-8)
+        buf = comp.compress(x)
+        assert np.array_equal(comp.decompress(buf), comp.decompress(buf, strict=True))
+
+
+class TestRegistryIntegration:
+    def test_registered(self):
+        comp = make_compressor("cuszp_06")
+        assert isinstance(comp, CuSZpLike)
+
+    def test_usable_as_basis_storage(self):
+        from repro.solvers import CbGmres, make_problem
+
+        p = make_problem("lung2", "smoke")
+        res = CbGmres(p.a, "cuszp_08").solve(p.b, p.target_rrn)
+        assert res.converged
+
+    def test_variable_rate_unlike_frsz2(self):
+        """The structural difference the paper designs around: cuSZp's
+        rate depends on the data, FRSZ2's does not."""
+        smooth = np.sin(np.linspace(0, 10, 32 * 64))
+        noisy = np.random.default_rng(7).standard_normal(32 * 64)
+        comp = CuSZpLike(1e-6)
+        assert comp.compress(smooth).nbytes < comp.compress(noisy).nbytes / 1.5
+        frsz2 = make_compressor("frsz2_32")
+        assert frsz2.compress(smooth).nbytes == frsz2.compress(noisy).nbytes

@@ -1,0 +1,204 @@
+"""Tests for the GPU performance model (device, kernels, roofline, timing)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    A100_SXM,
+    H100_PCIE,
+    GmresTimingModel,
+    achieved_bandwidth,
+    bandwidth_efficiency,
+    cuszp2_bandwidth_range,
+    format_cost,
+    frsz2_vs_cuszp2_speedup,
+    read_kernel_cost,
+    roofline_series,
+    speedup_table,
+)
+from repro.gpu.kernels import KernelCost
+from repro.solvers import CbGmres, make_problem
+
+
+class TestDeviceSpec:
+    def test_h100_headline_numbers(self):
+        assert H100_PCIE.mem_bandwidth == 2000e9
+        assert H100_PCIE.fp64_flops == 25.6e12
+        assert H100_PCIE.l2_bytes == 50 * 1024 * 1024
+
+    def test_flops_per_double_read_is_about_100(self):
+        """The Section I pen-and-paper calculation."""
+        assert H100_PCIE.flops_per_double_read == pytest.approx(102.4)
+
+    def test_spare_ops_budget_at_32_bits(self):
+        """~46 operations available once values shrink to 32 bits."""
+        budget = H100_PCIE.spare_ops_budget(stored_bits=32, used_flops=4)
+        assert 40 <= budget <= 55
+
+
+class TestFormatCost:
+    def test_float64_is_free(self):
+        f = format_cost("float64")
+        assert f.stored_bits == 64 and f.decompress_ops == 0
+
+    def test_frsz2_32_is_33_bits(self):
+        assert format_cost("frsz2_32").stored_bits == pytest.approx(33.0)
+
+    def test_frsz2_aliases(self):
+        assert format_cost("Acc<frsz2_21>").stored_bits == format_cost("frsz2_21").stored_bits
+
+    def test_unaligned_surcharge(self):
+        aligned = format_cost("frsz2_32")
+        straddling = format_cost("frsz2_21")
+        assert not straddling.aligned
+        assert straddling.decompress_ops > aligned.decompress_ops
+
+    def test_instruction_counts_within_budget(self):
+        f = format_cost("frsz2_32")
+        assert f.decompress_ops <= 46
+        assert f.compress_ops <= 46
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(KeyError):
+            format_cost("float128")
+
+
+class TestKernelCost:
+    def test_memory_bound_kernel(self):
+        c = KernelCost(bytes_moved=1e9, fp64_flops=1e6, int_ops=0)
+        t = c.time_on(H100_PCIE)
+        assert t == pytest.approx(1e9 / (2000e9 * 0.92))
+
+    def test_compute_bound_kernel(self):
+        c = KernelCost(bytes_moved=8, fp64_flops=1e12, int_ops=0)
+        assert c.time_on(H100_PCIE) == pytest.approx(1e12 / 25.6e12)
+
+    def test_int_pipe_can_dominate(self):
+        c = KernelCost(bytes_moved=8, fp64_flops=0, int_ops=1e13)
+        assert c.time_on(H100_PCIE) == pytest.approx(1e13 / 51.2e12)
+
+    def test_unaligned_slower(self):
+        a = KernelCost(bytes_moved=1e9, fp64_flops=0, int_ops=0, aligned=True)
+        u = KernelCost(bytes_moved=1e9, fp64_flops=0, int_ops=0, aligned=False)
+        assert u.time_on(H100_PCIE) > a.time_on(H100_PCIE)
+
+
+class TestRoofline:
+    """The Fig. 4 observations, as assertions on the model."""
+
+    def setup_method(self):
+        self.series = roofline_series(intensities=(1.0, 4.0, 16.0, 128.0, 1024.0))
+
+    def _gflops(self, fmt):
+        return np.array([p.gflops for p in self.series[fmt]])
+
+    def test_accessor_is_zero_cost(self):
+        assert np.allclose(self._gflops("float64"), self._gflops("Acc<float64>"))
+        assert np.allclose(self._gflops("float32"), self._gflops("Acc<float32>"))
+
+    def test_frsz2_16_fastest_at_low_intensity(self):
+        low = {f: self.series[f][0].gflops for f in self.series}
+        assert max(low, key=low.get) == "Acc<frsz2_16>"
+
+    def test_frsz2_16_not_twice_float32(self):
+        """Fig. 4: 'it is not a factor of 2 faster than single-precision'."""
+        r = self.series["Acc<frsz2_16>"][0].gflops / self.series["Acc<float32>"][0].gflops
+        assert 1.0 < r < 2.0
+
+    def test_frsz2_32_just_below_float32(self):
+        f32 = self.series["Acc<float32>"][0].gflops
+        frsz2 = self.series["Acc<frsz2_32>"][0].gflops
+        assert frsz2 < f32
+        assert frsz2 > f32 * 0.93  # 32/33 bits, minus the derate
+
+    def test_frsz2_21_no_faster_than_frsz2_32(self):
+        """Fig. 4: the 33% footprint saving does not translate to speed."""
+        assert (
+            self.series["Acc<frsz2_21>"][0].gflops
+            <= self.series["Acc<frsz2_32>"][0].gflops * 1.02
+        )
+
+    def test_all_formats_merge_when_compute_bound(self):
+        high = [self.series[f][-1].gflops for f in self.series]
+        assert max(high) / min(high) < 1.01
+
+    def test_gap_closes_with_intensity(self):
+        gap = self._gflops("Acc<frsz2_16>") / self._gflops("float64")
+        assert np.all(np.diff(gap) <= 1e-9)  # never widens
+        assert gap[0] > 2.0 and gap[-1] == pytest.approx(1.0)
+
+    def test_monotone_in_intensity(self):
+        for fmt in self.series:
+            g = self._gflops(fmt)
+            assert np.all(np.diff(g) >= -1e-9)
+
+
+class TestBandwidthClaims:
+    def test_frsz2_32_reaches_99_6_percent(self):
+        """Paper: 'Acc<frsz2_32> reaches 1991GB/s, ~99.6% of reachable'."""
+        assert bandwidth_efficiency("Acc<frsz2_32>") == pytest.approx(0.996, abs=0.002)
+
+    def test_achieved_bandwidth_below_peak(self):
+        assert achieved_bandwidth("Acc<frsz2_32>") < H100_PCIE.mem_bandwidth
+
+    def test_cuszp2_range_scales_with_device(self):
+        lo_h, hi_h = cuszp2_bandwidth_range(H100_PCIE)
+        lo_a, hi_a = cuszp2_bandwidth_range(A100_SXM)
+        assert lo_h > lo_a and hi_h > hi_a
+        assert hi_a == pytest.approx(1241e9)
+
+    def test_frsz2_vs_cuszp2_matches_claim4(self):
+        """Paper claim 4: 1.2~3.1x faster than cuSZp2 at the roofline."""
+        lo, hi = frsz2_vs_cuszp2_speedup()
+        assert 1.0 < lo < 1.5
+        assert 2.5 < hi < 3.5
+
+
+class TestTimingModel:
+    def _solve(self, fmt, problem):
+        return CbGmres(problem.a, fmt).solve(problem.b, problem.target_rrn)
+
+    def test_timing_breakdown_positive(self):
+        p = make_problem("lung2", "smoke")
+        t = GmresTimingModel().time_result(self._solve("frsz2_32", p))
+        assert t.spmv_seconds > 0
+        assert t.basis_read_seconds > 0
+        assert t.basis_write_seconds > 0
+        assert t.total_seconds > 0
+
+    def test_smaller_storage_means_less_basis_read_time(self):
+        p = make_problem("lung2", "smoke")
+        model = GmresTimingModel()
+        r64 = self._solve("float64", p)
+        r16 = self._solve("float16", p)
+        per_read64 = model.time_result(r64).basis_read_seconds / r64.stats.basis_reads
+        per_read16 = model.time_result(r16).basis_read_seconds / r16.stats.basis_reads
+        assert per_read16 < per_read64 / 2
+
+    def test_speedup_table_baseline_is_one(self):
+        p = make_problem("lung2", "smoke")
+        results = [self._solve(f, p) for f in ("float64", "float32")]
+        table = speedup_table(results)
+        assert table["float64"] == pytest.approx(1.0)
+
+    def test_speedup_table_requires_baseline(self):
+        p = make_problem("lung2", "smoke")
+        with pytest.raises(ValueError):
+            speedup_table([self._solve("float32", p)])
+
+    def test_unconverged_formats_omitted(self):
+        """Fig. 11: 'the entire bar is removed ... if a storage format
+        does not reach the targeted relative residual norm'."""
+        p = make_problem("PR02R", "default")
+        r64 = self._solve("float64", p)
+        r16 = CbGmres(p.a, "float16", max_iter=2000).solve(p.b, p.target_rrn)
+        table = speedup_table([r64, r16])
+        assert "float16" not in table
+
+    def test_atmosmod_ordering_matches_fig11(self):
+        """frsz2_32 beats float32 beats float64 on the atmosmod family."""
+        p = make_problem("atmosmodd", "default")
+        results = [self._solve(f, p) for f in ("float64", "frsz2_32", "float32")]
+        table = speedup_table(results)
+        assert table["frsz2_32"] > table["float32"] > 0.95
+        assert table["frsz2_32"] > 1.0

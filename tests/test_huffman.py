@@ -1,0 +1,124 @@
+"""Tests for the canonical Huffman coder used by the SZ-like compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import huffman
+
+
+class TestBuildCode:
+    def test_single_symbol_gets_one_bit(self):
+        code = huffman.build_code(np.array([5, 5, 5]))
+        assert code.symbols.tolist() == [5]
+        assert code.lengths.tolist() == [1]
+
+    def test_two_symbols(self):
+        code = huffman.build_code(np.array([1, 2, 2, 2]))
+        assert sorted(code.lengths.tolist()) == [1, 1]
+
+    def test_skewed_distribution_shorter_codes_for_frequent(self):
+        stream = np.array([0] * 100 + [1] * 10 + [2] * 1)
+        code = huffman.build_code(stream)
+        lut = {int(s): int(l) for s, l in zip(code.symbols, code.lengths)}
+        assert lut[0] <= lut[1] <= lut[2]
+
+    def test_kraft_inequality(self):
+        rng = np.random.default_rng(0)
+        stream = rng.integers(-50, 50, 5000)
+        code = huffman.build_code(stream)
+        kraft = np.sum(2.0 ** (-code.lengths.astype(float)))
+        assert kraft <= 1.0 + 1e-12
+
+    def test_canonical_codes_are_prefix_free(self):
+        rng = np.random.default_rng(1)
+        stream = rng.integers(0, 30, 1000)
+        code = huffman.build_code(stream)
+        entries = [
+            (format(int(c), f"0{int(l)}b"))
+            for c, l in zip(code.codes, code.lengths)
+        ]
+        for i, a in enumerate(entries):
+            for j, b in enumerate(entries):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_empty_stream(self):
+        code = huffman.build_code(np.zeros(0, dtype=np.int64))
+        assert code.symbols.size == 0
+
+
+class TestEncodeDecode:
+    def test_roundtrip_small(self):
+        stream = np.array([3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5], dtype=np.int64)
+        code, bits, nbits = huffman.encode(stream)
+        out = huffman.decode(code, bits, stream.size)
+        assert np.array_equal(out, stream)
+
+    def test_roundtrip_negative_symbols(self):
+        stream = np.array([-7, -7, 0, 3, -7, 3, 0, 0], dtype=np.int64)
+        code, bits, _ = huffman.encode(stream)
+        assert np.array_equal(huffman.decode(code, bits, stream.size), stream)
+
+    def test_roundtrip_single_distinct_symbol(self):
+        stream = np.full(17, -123, dtype=np.int64)
+        code, bits, nbits = huffman.encode(stream)
+        assert nbits == 17  # one bit each
+        assert np.array_equal(huffman.decode(code, bits, 17), stream)
+
+    def test_empty_stream(self):
+        code, bits, nbits = huffman.encode(np.zeros(0, dtype=np.int64))
+        assert bits == b"" and nbits == 0
+        assert huffman.decode(code, bits, 0).size == 0
+
+    def test_compression_beats_raw_on_skewed_data(self):
+        rng = np.random.default_rng(2)
+        stream = rng.geometric(0.5, 20_000) - 1
+        code, bits, nbits = huffman.encode(stream)
+        # entropy ~2 bits/symbol; raw int64 would be 64
+        assert nbits < 3 * stream.size
+
+    def test_encoded_nbytes_matches_encode(self):
+        rng = np.random.default_rng(3)
+        stream = rng.integers(-10, 10, 1000)
+        code, bits, nbits = huffman.encode(stream)
+        est = huffman.encoded_nbytes(code, stream)
+        assert est == (nbits + 7) // 8 + code.table_nbytes
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, vals):
+        stream = np.array(vals, dtype=np.int64)
+        code, bits, _ = huffman.encode(stream)
+        assert np.array_equal(huffman.decode(code, bits, stream.size), stream)
+
+    @given(st.lists(st.integers(min_value=-5, max_value=5), min_size=2, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_near_entropy_optimality(self, vals):
+        """Huffman length is within 1 bit/symbol of the entropy bound."""
+        stream = np.array(vals, dtype=np.int64)
+        _, counts = np.unique(stream, return_counts=True)
+        p = counts / counts.sum()
+        entropy = float(-(p * np.log2(p)).sum())
+        code, _, nbits = huffman.encode(stream)
+        assert nbits >= entropy * stream.size - 1e-6
+        assert nbits <= (entropy + 1) * stream.size + 1e-6
+
+
+class TestReverseBits:
+    def test_reverse_known(self):
+        out = huffman._reverse_bits(
+            np.array([0b110], dtype=np.uint64), np.array([3], dtype=np.int64)
+        )
+        assert out[0] == 0b011
+
+    def test_reverse_is_involution(self):
+        rng = np.random.default_rng(4)
+        lens = rng.integers(1, 33, 100)
+        vals = np.array(
+            [rng.integers(0, 1 << int(l)) for l in lens], dtype=np.uint64
+        )
+        once = huffman._reverse_bits(vals, lens)
+        twice = huffman._reverse_bits(once, lens)
+        assert np.array_equal(twice, vals)

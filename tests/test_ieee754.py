@@ -1,0 +1,161 @@
+"""Unit tests for the IEEE 754 field-manipulation substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ieee754
+
+
+class TestBitViews:
+    def test_to_bits_roundtrip(self):
+        x = np.array([1.0, -2.5, 0.0, 1e-300, -1e300])
+        assert np.array_equal(ieee754.from_bits(ieee754.to_bits(x)), x)
+
+    def test_to_bits_is_view(self):
+        x = np.array([1.0, 2.0])
+        b = ieee754.to_bits(x)
+        b[0] = np.uint64(0)
+        assert x[0] == 0.0
+
+    def test_to_bits_rejects_other_dtypes(self):
+        with pytest.raises(TypeError):
+            ieee754.to_bits(np.array([1.0], dtype=np.float32))
+
+    def test_from_bits_rejects_other_dtypes(self):
+        with pytest.raises(TypeError):
+            ieee754.from_bits(np.array([1], dtype=np.int64))
+
+    def test_known_bit_pattern_of_one(self):
+        bits = ieee754.to_bits(np.array([1.0]))
+        assert bits[0] == np.uint64(0x3FF0000000000000)
+
+
+class TestFieldExtraction:
+    def test_sign_bit(self):
+        x = np.array([1.0, -1.0, 0.0, -0.0])
+        assert ieee754.sign_bit(ieee754.to_bits(x)).tolist() == [0, 1, 0, 1]
+
+    def test_biased_exponent_of_powers_of_two(self):
+        x = np.array([1.0, 2.0, 0.5, 4.0])
+        e = ieee754.biased_exponent(ieee754.to_bits(x))
+        assert e.tolist() == [1023, 1024, 1022, 1025]
+
+    def test_mantissa_of_one_and_half(self):
+        x = np.array([1.5])
+        m = ieee754.mantissa(ieee754.to_bits(x))
+        assert m[0] == np.uint64(1) << np.uint64(51)
+
+    def test_significand53_has_implicit_bit_for_normals(self):
+        x = np.array([1.0])
+        s = ieee754.significand53(ieee754.to_bits(x))
+        assert s[0] == ieee754.IMPLICIT_BIT
+
+    def test_significand53_subnormal_without_implicit_bit(self):
+        sub = np.array([5e-324])  # smallest subnormal: mantissa == 1
+        s = ieee754.significand53(ieee754.to_bits(sub))
+        assert s[0] == np.uint64(1)
+
+    def test_effective_exponent_maps_subnormals_to_one(self):
+        x = np.array([5e-324, 0.0, 1.0])
+        e = ieee754.effective_biased_exponent(ieee754.to_bits(x))
+        assert e.tolist() == [1, 1, 1023]
+
+    def test_uniform_value_formula(self):
+        # value == sig53 * 2^(e_eff - 1075) for normals and subnormals alike
+        x = np.array([3.75, -1e-310, 2.0 ** -1040, 123456.789])
+        bits = ieee754.to_bits(np.abs(x))
+        sig = ieee754.significand53(bits).astype(np.float64)
+        e = ieee754.effective_biased_exponent(bits).astype(np.int64)
+        rebuilt = np.ldexp(sig, e - 1075)
+        assert np.array_equal(rebuilt, np.abs(x))
+
+
+class TestAssemble:
+    def test_assemble_one(self):
+        v = ieee754.assemble(np.array([0]), np.array([1023]), np.array([0]))
+        assert v[0] == 1.0
+
+    def test_assemble_negative(self):
+        v = ieee754.assemble(np.array([1]), np.array([1023]), np.array([0]))
+        assert v[0] == -1.0
+
+    def test_assemble_masks_overflowing_fields(self):
+        v = ieee754.assemble(np.array([2]), np.array([1023]), np.array([0]))
+        assert v[0] == 1.0  # sign taken mod 2
+
+    def test_assemble_inverts_extraction(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(257) * 10.0 ** rng.integers(-30, 30, 257)
+        bits = ieee754.to_bits(x)
+        y = ieee754.assemble(
+            ieee754.sign_bit(bits),
+            ieee754.biased_exponent(bits),
+            ieee754.mantissa(bits),
+        )
+        assert np.array_equal(x, y)
+
+
+class TestNonFinite:
+    def test_detects_nan_and_inf(self):
+        x = np.array([1.0, np.nan, np.inf, -np.inf, 0.0])
+        assert ieee754.is_nonfinite(x).tolist() == [False, True, True, True, False]
+
+    def test_largest_finite_is_finite(self):
+        assert not ieee754.is_nonfinite(np.array([np.finfo(np.float64).max]))[0]
+
+
+class TestHighestSetBit:
+    def test_zero_returns_minus_one(self):
+        assert ieee754.highest_set_bit(np.array([0], dtype=np.uint64))[0] == -1
+
+    def test_powers_of_two(self):
+        v = np.uint64(1) << np.arange(64, dtype=np.uint64)
+        assert np.array_equal(ieee754.highest_set_bit(v), np.arange(64))
+
+    def test_all_ones_patterns(self):
+        # 2^k - 1 has highest bit k-1; exercises the float-rounding hazard
+        vals = [(1 << k) - 1 for k in range(1, 65)]
+        v = np.array(vals, dtype=np.uint64)
+        assert np.array_equal(ieee754.highest_set_bit(v), np.arange(64))
+
+    def test_near_2_53_boundary(self):
+        # values where naive float64 conversion would round up
+        v = np.array([(1 << 54) - 1, (1 << 53) - 1, (1 << 53) + 1], dtype=np.uint64)
+        assert ieee754.highest_set_bit(v).tolist() == [53, 52, 53]
+
+    @given(st.integers(min_value=1, max_value=(1 << 64) - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_matches_python_bit_length(self, v):
+        got = ieee754.highest_set_bit(np.array([v], dtype=np.uint64))[0]
+        assert got == v.bit_length() - 1
+
+
+class TestCountLeadingZeros:
+    def test_full_width_zero(self):
+        assert ieee754.count_leading_zeros(np.array([0], dtype=np.uint64))[0] == 64
+
+    def test_width_parameter(self):
+        v = np.array([1], dtype=np.uint64)
+        assert ieee754.count_leading_zeros(v, width=31)[0] == 30
+
+    def test_value_exceeding_width_raises(self):
+        with pytest.raises(ValueError):
+            ieee754.count_leading_zeros(np.array([256], dtype=np.uint64), width=8)
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ValueError):
+            ieee754.count_leading_zeros(np.array([1], dtype=np.uint64), width=0)
+        with pytest.raises(ValueError):
+            ieee754.count_leading_zeros(np.array([1], dtype=np.uint64), width=65)
+
+    @given(st.integers(min_value=0, max_value=(1 << 31) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_clz31_matches_reference(self, v):
+        # 31-bit fields are what frsz2_32 decompression uses
+        got = ieee754.count_leading_zeros(np.array([v], dtype=np.uint64), width=31)[0]
+        expected = 31 - v.bit_length()
+        assert got == expected

@@ -1,0 +1,187 @@
+"""Tests for the preconditioners (the M^-1 of the paper's Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    BlockJacobiPreconditioner,
+    CbGmres,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    make_problem,
+)
+from repro.sparse import COOMatrix
+
+
+def spd_system(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, n)) * 0.1
+    dense = dense @ dense.T + np.diag(1.0 + rng.random(n) * 5)
+    rows, cols = np.nonzero(dense)
+    a = COOMatrix((n, n), rows, cols, dense[rows, cols]).to_csr()
+    x = rng.standard_normal(n)
+    return a, a.matvec(x), x
+
+
+class TestIdentity:
+    def test_apply_is_noop(self):
+        p = IdentityPreconditioner()
+        v = np.linspace(0, 1, 10)
+        assert np.array_equal(p.apply(v), v)
+
+    def test_is_identity_flag(self):
+        assert IdentityPreconditioner().is_identity
+        a, _, _ = spd_system()
+        assert not JacobiPreconditioner(a).is_identity
+
+
+class TestJacobi:
+    def test_apply_divides_by_diagonal(self):
+        a, _, _ = spd_system(seed=1)
+        p = JacobiPreconditioner(a)
+        v = np.ones(a.n)
+        assert np.allclose(p.apply(v), 1.0 / a.diagonal())
+
+    def test_zero_diagonal_falls_back_to_identity_row(self):
+        a = COOMatrix((2, 2), [0, 0, 1], [0, 1, 0], [2.0, 1.0, 3.0]).to_csr()
+        p = JacobiPreconditioner(a)
+        out = p.apply(np.array([4.0, 5.0]))
+        assert out[0] == 2.0  # divided by 2
+        assert out[1] == 5.0  # diagonal zero -> untouched
+
+    def test_nonsquare_rejected(self):
+        a = COOMatrix((2, 3), [0], [0], [1.0]).to_csr()
+        with pytest.raises(ValueError):
+            JacobiPreconditioner(a)
+
+
+class TestBlockJacobi:
+    def test_exact_inverse_for_block_diagonal_matrix(self):
+        # a truly block-diagonal matrix: M^-1 A = I, GMRES in 1 iteration
+        rng = np.random.default_rng(2)
+        blocks = [rng.standard_normal((4, 4)) + 4 * np.eye(4) for _ in range(5)]
+        rows, cols, data = [], [], []
+        for b, blk in enumerate(blocks):
+            r, c = np.meshgrid(range(4), range(4), indexing="ij")
+            rows.append((r + 4 * b).ravel())
+            cols.append((c + 4 * b).ravel())
+            data.append(blk.ravel())
+        a = COOMatrix(
+            (20, 20), np.concatenate(rows), np.concatenate(cols), np.concatenate(data)
+        ).to_csr()
+        p = BlockJacobiPreconditioner(a, block_size=4)
+        x_true = rng.standard_normal(20)
+        b_vec = a.matvec(x_true)
+        res = CbGmres(a, preconditioner=p).solve(b_vec, 1e-12)
+        assert res.converged
+        assert res.iterations <= 2
+
+    def test_apply_matches_dense_inverse(self):
+        a, _, _ = spd_system(n=12, seed=3)
+        p = BlockJacobiPreconditioner(a, block_size=6)
+        dense = a.to_dense()
+        m = np.zeros_like(dense)
+        m[:6, :6] = np.linalg.inv(dense[:6, :6])
+        m[6:, 6:] = np.linalg.inv(dense[6:, 6:])
+        v = np.random.default_rng(4).standard_normal(12)
+        assert np.allclose(p.apply(v), m @ v)
+
+    def test_partial_last_block(self):
+        a, b, _ = spd_system(n=10, seed=5)
+        p = BlockJacobiPreconditioner(a, block_size=4)  # blocks 4,4,2
+        assert p.apply(b).shape == (10,)
+
+    def test_reduced_precision_storage(self):
+        a, _, _ = spd_system(n=16, seed=6)
+        p64 = BlockJacobiPreconditioner(a, 4, np.float64)
+        p32 = BlockJacobiPreconditioner(a, 4, np.float32)
+        p16 = BlockJacobiPreconditioner(a, 4, np.float16)
+        assert p32.stored_nbytes == p64.stored_nbytes // 2
+        assert p16.stored_nbytes == p64.stored_nbytes // 4
+        v = np.random.default_rng(7).standard_normal(16)
+        # reduced precision perturbs but approximates the float64 apply
+        assert np.allclose(p32.apply(v), p64.apply(v), rtol=1e-5)
+        assert np.allclose(p16.apply(v), p64.apply(v), rtol=2e-2)
+        assert not np.array_equal(p32.apply(v), p64.apply(v))
+
+    def test_invalid_dtype_rejected(self):
+        a, _, _ = spd_system(n=8, seed=8)
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(a, 4, np.int32)
+
+    def test_invalid_block_size(self):
+        a, _, _ = spd_system(n=8, seed=9)
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(a, 0)
+
+    def test_singular_block_falls_back(self):
+        a = COOMatrix((4, 4), [0, 1, 2, 3], [1, 0, 2, 3], [1.0, 1.0, 1.0, 1.0]).to_csr()
+        # block [2x2] of rows 0-1 has zero diagonal but is invertible;
+        # make a genuinely singular block instead
+        a2 = COOMatrix((4, 4), [2, 3], [2, 3], [1.0, 1.0]).to_csr()
+        p = BlockJacobiPreconditioner(a2, block_size=2)
+        out = p.apply(np.ones(4))
+        assert np.all(np.isfinite(out))
+
+    def test_wrong_vector_shape(self):
+        a, _, _ = spd_system(n=8, seed=10)
+        p = BlockJacobiPreconditioner(a, 4)
+        with pytest.raises(ValueError):
+            p.apply(np.ones(9))
+
+
+class TestPreconditionedSolver:
+    def test_preconditioning_reduces_iterations(self):
+        p = make_problem("StocF-1465", "smoke")
+        plain = CbGmres(p.a).solve(p.b, p.target_rrn)
+        prec = CbGmres(p.a, preconditioner=JacobiPreconditioner(p.a)).solve(
+            p.b, p.target_rrn
+        )
+        assert prec.converged
+        assert prec.iterations <= plain.iterations
+
+    def test_preconditioner_applies_counted(self):
+        p = make_problem("lung2", "smoke")
+        res = CbGmres(p.a, preconditioner=JacobiPreconditioner(p.a)).solve(
+            p.b, p.target_rrn
+        )
+        # one apply per iteration plus one per restart's solution update
+        assert res.stats.preconditioner_applies == res.iterations + res.stats.restarts
+
+    def test_identity_preconditioner_matches_unpreconditioned(self):
+        p = make_problem("lung2", "smoke")
+        a_res = CbGmres(p.a).solve(p.b, p.target_rrn)
+        b_res = CbGmres(p.a, preconditioner=IdentityPreconditioner()).solve(
+            p.b, p.target_rrn
+        )
+        assert a_res.iterations == b_res.iterations
+        assert np.array_equal(a_res.x, b_res.x)
+
+    def test_compressed_basis_with_preconditioner(self):
+        p = make_problem("lung2", "smoke")
+        res = CbGmres(
+            p.a, "frsz2_32", preconditioner=JacobiPreconditioner(p.a)
+        ).solve(p.b, p.target_rrn)
+        assert res.converged
+
+    def test_solution_correctness_with_preconditioner(self):
+        a, b, x_true = spd_system(n=60, seed=11)
+        res = CbGmres(a, preconditioner=BlockJacobiPreconditioner(a, 10)).solve(
+            b, 1e-12
+        )
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) / np.linalg.norm(x_true) < 1e-9
+
+
+class TestMgsOption:
+    def test_mgs_converges_like_cgs(self):
+        p = make_problem("atmosmodd", "smoke")
+        cgs = CbGmres(p.a, orthogonalization="cgs").solve(p.b, p.target_rrn)
+        mgs = CbGmres(p.a, orthogonalization="mgs").solve(p.b, p.target_rrn)
+        assert cgs.converged and mgs.converged
+        assert abs(cgs.iterations - mgs.iterations) <= max(3, cgs.iterations // 10)
+
+    def test_invalid_orthogonalization_rejected(self):
+        p = make_problem("lung2", "smoke")
+        with pytest.raises(ValueError):
+            CbGmres(p.a, orthogonalization="householder")

@@ -1,0 +1,94 @@
+"""Tests for the storage-format predictor (the paper's §VIII future work)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    exponent_spread_features,
+    make_problem,
+    predict_format,
+)
+
+
+class TestFeatures:
+    def test_uniform_magnitudes_have_no_kill_risk(self):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal(1024)
+        v /= np.linalg.norm(v)
+        f = exponent_spread_features(v)
+        assert f.frsz2_kill_fraction == 0.0
+        assert f.float16_loss_fraction < 0.05
+
+    def test_mixed_blocks_detected(self):
+        # one huge value per 32-block destroys its neighbours
+        v = np.full(1024, 1e-12)
+        v[::32] = 1.0
+        f = exponent_spread_features(v)
+        assert f.frsz2_kill_fraction == 1.0
+
+    def test_float16_range_loss_detected(self):
+        v = np.full(1000, 1e-10)
+        v[0] = 1.0  # scale anchor; everything else below 2^-24 relative
+        f = exponent_spread_features(v)
+        assert f.float16_loss_fraction > 0.9
+
+    def test_exponent_concentration_few_for_normalized_noise(self):
+        rng = np.random.default_rng(1)
+        v = rng.standard_normal(32 * 512)
+        v /= np.linalg.norm(v)
+        f = exponent_spread_features(v)
+        # Fig. 2's observation: a handful of exponents covers 90%
+        assert f.exponent_concentration <= 6
+
+    def test_empty_vector(self):
+        f = exponent_spread_features(np.zeros(0))
+        assert f.frsz2_kill_fraction == 0.0
+
+    def test_all_zero_vector(self):
+        f = exponent_spread_features(np.zeros(64))
+        assert f.frsz2_kill_fraction == 0.0
+        assert f.float16_loss_fraction == 0.0
+
+    def test_zeros_do_not_count_as_killed(self):
+        v = np.zeros(64)
+        v[0] = 1.0
+        f = exponent_spread_features(v)
+        assert f.frsz2_kill_fraction == 0.0
+
+
+class TestPrediction:
+    def test_pr02r_rejects_frsz2_and_float16(self):
+        p = make_problem("PR02R", "smoke")
+        rec = predict_format(p.a, p.b, probe_iterations=10)
+        assert "frsz2_32" in rec.rejected
+        assert "float16" in rec.rejected
+        assert rec.storage in ("float32", "float64")
+
+    def test_atmosmod_keeps_all_candidates(self):
+        p = make_problem("atmosmodd", "smoke")
+        rec = predict_format(p.a, p.b, probe_iterations=10)
+        assert rec.rejected == {}
+        assert set(rec.probe_scores) == {"frsz2_32", "float32", "float16", "float64"}
+
+    def test_recommendation_is_a_probed_candidate(self):
+        p = make_problem("lung2", "smoke")
+        rec = predict_format(p.a, p.b, probe_iterations=10)
+        assert rec.storage in rec.probe_scores
+        assert rec.probe_scores[rec.storage] == max(rec.probe_scores.values())
+
+    def test_zero_rhs_defaults_to_float64(self):
+        p = make_problem("lung2", "smoke")
+        rec = predict_format(p.a, np.zeros(p.a.n))
+        assert rec.storage == "float64"
+
+    def test_custom_candidates(self):
+        p = make_problem("lung2", "smoke")
+        rec = predict_format(p.a, p.b, candidates=("float64",), probe_iterations=5)
+        assert rec.storage == "float64"
+
+    def test_all_rejected_falls_back_to_float64(self):
+        p = make_problem("PR02R", "smoke")
+        rec = predict_format(
+            p.a, p.b, candidates=("frsz2_32", "float16"), probe_iterations=5
+        )
+        assert rec.storage == "float64"

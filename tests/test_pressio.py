@@ -1,0 +1,165 @@
+"""Tests for the compressor registry (Table II) and metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compressors import (
+    FRSZ2_CONFIGS,
+    TABLE_II,
+    ErrorBoundMode,
+    evaluate,
+    list_compressors,
+    make_compressor,
+)
+from repro.compressors.metrics import (
+    compression_ratio,
+    max_abs_error,
+    max_pointwise_relative_error,
+    psnr,
+)
+
+
+def krylov_vector(n=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    return x / np.linalg.norm(x)
+
+
+class TestRegistry:
+    def test_table_ii_is_complete(self):
+        """Exactly the nine configurations of the paper's Table II."""
+        assert set(TABLE_II) == {
+            "sz3_06",
+            "sz3_07",
+            "sz3_08",
+            "zfp_06",
+            "zfp_10",
+            "sz_pwrel_04",
+            "sz3_pwrel_04",
+            "zfp_fr_16",
+            "zfp_fr_32",
+        }
+
+    def test_table_ii_bound_types(self):
+        assert TABLE_II["sz3_06"].error_bound_type == "absolute"
+        assert TABLE_II["sz_pwrel_04"].error_bound_type == "relative"
+        assert TABLE_II["zfp_fr_16"].error_bound_type == "fixed rate"
+
+    def test_frsz2_configs(self):
+        assert set(FRSZ2_CONFIGS) == {"frsz2_16", "frsz2_21", "frsz2_32"}
+
+    def test_list_compressors_contains_everything(self):
+        names = list_compressors()
+        assert "sz3_08" in names and "frsz2_32" in names
+
+    def test_make_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="sz3_06"):
+            make_compressor("nope")
+
+    def test_specs_build_fresh_instances(self):
+        a = make_compressor("sz3_06")
+        b = make_compressor("sz3_06")
+        assert a is not b
+
+    @pytest.mark.parametrize("name", sorted(TABLE_II) + sorted(FRSZ2_CONFIGS))
+    def test_every_config_roundtrips(self, name):
+        x = krylov_vector(2048, seed=1)
+        comp = make_compressor(name)
+        y = comp.roundtrip(x)
+        assert y.shape == x.shape
+        assert np.all(np.isfinite(y))
+
+    @pytest.mark.parametrize("name", sorted(TABLE_II) + sorted(FRSZ2_CONFIGS))
+    def test_every_config_satisfies_declared_bound(self, name):
+        report = evaluate(make_compressor(name), krylov_vector(4096, seed=2))
+        assert report.bound_satisfied
+
+
+class TestFrsz2Adapter:
+    def test_size_matches_eq3(self):
+        comp = make_compressor("frsz2_32")
+        buf = comp.compress(np.ones(32 * 100))
+        assert buf.bits_per_value == pytest.approx(33.0)
+
+    def test_matches_codec_output(self):
+        from repro.core import FRSZ2
+
+        x = krylov_vector(1000, seed=3)
+        adapter_out = make_compressor("frsz2_21").roundtrip(x)
+        codec_out = FRSZ2(21).roundtrip(x)
+        assert np.array_equal(adapter_out, codec_out)
+
+    def test_mode_is_fixed_rate(self):
+        assert make_compressor("frsz2_16").mode is ErrorBoundMode.FIXED_RATE
+
+
+class TestMetrics:
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 2.0]), np.array([1.5, 2.0])) == 0.5
+
+    def test_max_abs_error_empty(self):
+        assert max_abs_error(np.zeros(0), np.zeros(0)) == 0.0
+
+    def test_pw_rel_error_basic(self):
+        x = np.array([2.0, -4.0])
+        y = np.array([2.2, -4.0])
+        assert max_pointwise_relative_error(x, y) == pytest.approx(0.1)
+
+    def test_pw_rel_error_zero_mismatch_is_inf(self):
+        assert max_pointwise_relative_error(np.array([0.0]), np.array([1e-30])) == math.inf
+
+    def test_pw_rel_error_all_zero(self):
+        assert max_pointwise_relative_error(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_psnr_exact_is_inf(self):
+        x = np.array([1.0, 2.0])
+        assert psnr(x, x) == math.inf
+
+    def test_psnr_decreases_with_noise(self):
+        x = krylov_vector(1000)
+        small = psnr(x, x + 1e-9)
+        large = psnr(x, x + 1e-5)
+        assert small > large
+
+    def test_compression_ratio(self):
+        comp = make_compressor("frsz2_16")
+        buf = comp.compress(np.ones(32 * 100))
+        assert compression_ratio(buf) == pytest.approx(64 / 17.0)
+
+    def test_evaluate_report_fields(self):
+        report = evaluate(make_compressor("zfp_fr_32"), krylov_vector(512))
+        assert report.n == 512
+        assert report.bits_per_value > 0
+        assert report.compression_ratio > 1.0
+        assert report.psnr_db > 50
+
+
+class TestPaperOrderings:
+    """Quality orderings the paper's Fig. 5/6 discussion relies on."""
+
+    def test_frsz2_32_more_accurate_than_float32_cast(self):
+        x = krylov_vector(32 * 512, seed=4)
+        frsz2 = make_compressor("frsz2_32").roundtrip(x)
+        f32 = x.astype(np.float32).astype(np.float64)
+        assert np.median(np.abs(frsz2 - x)) < np.median(np.abs(f32 - x))
+
+    def test_zfp_fr_32_less_accurate_than_frsz2_32(self):
+        x = krylov_vector(32 * 512, seed=5)
+        zfp = make_compressor("zfp_fr_32").roundtrip(x)
+        frsz2 = make_compressor("frsz2_32").roundtrip(x)
+        assert np.median(np.abs(frsz2 - x)) < np.median(np.abs(zfp - x))
+
+    def test_pointwise_relative_preserves_magnitudes_better_than_absolute(self):
+        """Paper Section VI-A: pw-rel bounds beat abs bounds for small
+        values because the relative information is kept."""
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(4000) * 10.0 ** rng.integers(-9, 0, 4000)
+        abs_rec = make_compressor("sz3_06").roundtrip(x)
+        rel_rec = make_compressor("sz3_pwrel_04").roundtrip(x)
+        small = np.abs(x) < 1e-5
+        assert np.any(small)
+        rel_err_abs = np.abs(abs_rec[small] - x[small]) / np.abs(x[small])
+        rel_err_rel = np.abs(rel_rec[small] - x[small]) / np.abs(x[small])
+        assert np.median(rel_err_rel) < np.median(rel_err_abs)

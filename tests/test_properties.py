@@ -1,0 +1,199 @@
+"""Cross-cutting property-based tests over the whole stack.
+
+These encode the *laws* the library's pieces must satisfy jointly:
+compressor contracts, accessor semantics, solver invariants — beyond the
+per-module tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.accessor import make_accessor
+from repro.compressors import ErrorBoundMode, list_compressors, make_compressor
+from repro.core import FRSZ2
+from repro.solvers import CbGmres, GivensLeastSquares
+from repro.sparse import COOMatrix
+
+finite_vec = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_subnormal=False),
+    min_size=1,
+    max_size=150,
+)
+
+krylov_vec = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False, allow_subnormal=False),
+    min_size=1,
+    max_size=150,
+)
+
+
+class TestCompressorContracts:
+    """Laws every registered compressor must obey on any finite input."""
+
+    @pytest.mark.parametrize("name", list_compressors())
+    @given(vals=krylov_vec)
+    @settings(max_examples=15, deadline=None)
+    def test_shape_and_finiteness(self, name, vals):
+        x = np.array(vals)
+        comp = make_compressor(name)
+        y = comp.roundtrip(x)
+        assert y.shape == x.shape
+        assert np.all(np.isfinite(y))
+
+    @pytest.mark.parametrize("name", ["sz3_06", "zfp_06", "cuszp_06"])
+    @given(vals=finite_vec)
+    @settings(max_examples=25, deadline=None)
+    def test_absolute_bound_law(self, name, vals):
+        x = np.array(vals)
+        comp = make_compressor(name)
+        y = comp.roundtrip(x)
+        bound = float(comp.error_bound if hasattr(comp, "error_bound") else comp.tolerance)
+        assert np.abs(y - x).max() <= bound * (1 + 1e-9)
+
+    @pytest.mark.parametrize("name", ["frsz2_16", "frsz2_32", "zfp_fr_16", "zfp_fr_32"])
+    @given(vals=krylov_vec)
+    @settings(max_examples=15, deadline=None)
+    def test_fixed_rate_size_independent_of_values(self, name, vals):
+        """A fixed-rate compressor's size depends only on n."""
+        x = np.array(vals)
+        comp = make_compressor(name)
+        s1 = comp.compress(x).nbytes
+        s2 = comp.compress(np.zeros_like(x)).nbytes
+        assert s1 == s2
+
+    # zfp_* is deliberately excluded: its floor-truncation in the
+    # transform domain drifts by one grid step per round trip — the
+    # reconstruction bias the paper blames for ZFP's slow convergence
+    # (covered by tests/test_zfplike.py::TestBias)
+    @pytest.mark.parametrize("name", ["sz3_06", "sz_pwrel_04", "cuszp_06", "frsz2_32"])
+    @given(vals=krylov_vec)
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_idempotent(self, name, vals):
+        """Lattice/fixed-point reconstructions are round-trip fixed points."""
+        x = np.array(vals)
+        comp = make_compressor(name)
+        once = comp.roundtrip(x)
+        twice = comp.roundtrip(once)
+        assert np.array_equal(once, twice)
+
+
+class TestAccessorLaws:
+    @pytest.mark.parametrize(
+        "name", ["float64", "float32", "float16", "frsz2_16", "frsz2_32", "zfp_fr_32"]
+    )
+    @given(vals=krylov_vec)
+    @settings(max_examples=10, deadline=None)
+    def test_read_is_stable(self, name, vals):
+        """Reads never change the stored value (decompression is pure)."""
+        x = np.array(vals)
+        acc = make_accessor(name, x.size)
+        acc.write(x)
+        first = acc.read()
+        for _ in range(3):
+            assert np.array_equal(acc.read(), first)
+
+    @pytest.mark.parametrize("name", ["float32", "frsz2_32"])
+    @given(vals=krylov_vec)
+    @settings(max_examples=10, deadline=None)
+    def test_write_read_write_fixed_point(self, name, vals):
+        """Writing back a read value reproduces it exactly."""
+        x = np.array(vals)
+        acc = make_accessor(name, x.size)
+        acc.write(x)
+        y = acc.read()
+        acc.write(y)
+        assert np.array_equal(acc.read(), y)
+
+
+class TestFrsz2AlgebraicLaws:
+    @given(vals=krylov_vec, scale_exp=st.integers(min_value=-30, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_by_powers_of_two_commutes(self, vals, scale_exp):
+        """FRSZ2 is exponent-based: scaling input by 2^k scales output
+        by 2^k exactly (no requantization), as long as nothing over- or
+        underflows."""
+        x = np.array(vals)
+        # stay far from the subnormal underflow region, where the codec
+        # flushes to zero and scaling no longer commutes
+        assume(np.all((x == 0) | (np.abs(x) > 1e-200)))
+        codec = FRSZ2(21, block_size=8)
+        base = codec.roundtrip(x)
+        scaled = codec.roundtrip(x * 2.0**scale_exp)
+        assert np.array_equal(scaled, base * 2.0**scale_exp)
+
+    @given(vals=krylov_vec)
+    @settings(max_examples=60, deadline=None)
+    def test_negation_symmetry(self, vals):
+        """compress(-x) == -compress(x): the sign bit is independent."""
+        x = np.array(vals)
+        codec = FRSZ2(32)
+        a = codec.roundtrip(x)
+        b = codec.roundtrip(-x)
+        assert np.array_equal(b, -a)
+
+    @given(vals=krylov_vec, l1=st.sampled_from([12, 16, 21]), extra=st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_refinement(self, vals, l1, extra):
+        """More bits never increase any single value's error."""
+        x = np.array(vals)
+        lo = FRSZ2(l1).roundtrip(x)
+        hi = FRSZ2(l1 + extra).roundtrip(x)
+        assert np.all(np.abs(hi - x) <= np.abs(lo - x) + 0.0)
+
+
+class TestSolverInvariants:
+    def _system(self, n, seed):
+        rng = np.random.default_rng(seed)
+        dense = np.eye(n) * (3 + rng.random(n)) + rng.standard_normal((n, n)) * 0.15
+        rows, cols = np.nonzero(dense)
+        a = COOMatrix((n, n), rows, cols, dense[rows, cols]).to_csr()
+        return a, rng.standard_normal(n)
+
+    @given(n=st.integers(min_value=3, max_value=40), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_implicit_residual_monotone_within_cycle(self, n, seed):
+        a, b = self._system(n, seed)
+        res = CbGmres(a, m=n).solve(b, 1e-13)
+        rrns = [s.rrn for s in res.history if s.kind == "implicit"]
+        assert all(x >= y - 1e-12 for x, y in zip(rrns, rrns[1:]))
+
+    @given(n=st.integers(min_value=3, max_value=30), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_converged_solution_satisfies_target(self, n, seed):
+        a, b = self._system(n, seed)
+        target = 1e-10
+        res = CbGmres(a, m=n).solve(b, target)
+        assume(res.converged)
+        rrn = np.linalg.norm(b - a.matvec(res.x)) / np.linalg.norm(b)
+        assert rrn <= target * (1 + 1e-9)
+
+    @given(n=st.integers(min_value=2, max_value=25), seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_solution_in_krylov_space_for_full_cycle(self, n, seed):
+        """Unrestarted GMRES at m=n solves exactly (happy breakdown)."""
+        a, b = self._system(n, seed)
+        res = CbGmres(a, m=n, max_iter=n).solve(b, 1e-12)
+        assert res.final_rrn < 1e-8
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_givens_residual_equals_true_lstsq_residual(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 9))
+        beta = float(rng.random() + 0.1)
+        lsq = GivensLeastSquares(m, beta)
+        h_full = np.zeros((m + 1, m))
+        for j in range(m):
+            h = rng.standard_normal(j + 1)
+            hn = float(np.abs(rng.standard_normal()) + 0.1)
+            h_full[: j + 1, j] = h
+            h_full[j + 1, j] = hn
+            lsq.append_column(h, hn)
+        rhs = np.zeros(m + 1)
+        rhs[0] = beta
+        y = lsq.solve()
+        assert lsq.residual_norm == pytest.approx(
+            float(np.linalg.norm(rhs - h_full @ y)), abs=1e-9
+        )

@@ -1,0 +1,120 @@
+"""Tests for the scalar reference codec and the Fig. 3 walkthrough trace."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import reference
+
+
+class TestCompressValue:
+    def test_one_with_l32(self):
+        # 1.0: sign 0, e = 1023, sig53 = 2^52; k = 0, shift = 22
+        c = reference.compress_value(1.0, 1023, 32)
+        assert c == (1 << 52) >> 22  # leading 1 at field bit 30
+
+    def test_sign_bit_position(self):
+        c_pos = reference.compress_value(1.0, 1023, 32)
+        c_neg = reference.compress_value(-1.0, 1023, 32)
+        assert c_neg == c_pos | (1 << 31)
+
+    def test_smaller_exponent_shifts_right(self):
+        c1 = reference.compress_value(1.0, 1023, 32)
+        c_half = reference.compress_value(0.5, 1023, 32)
+        assert c_half == c1 >> 1
+
+    def test_exponent_above_block_max_raises(self):
+        with pytest.raises(ValueError):
+            reference.compress_value(2.0, 1023, 32)
+
+    def test_nonfinite_raises(self):
+        with pytest.raises(ValueError):
+            reference.compress_value(math.nan, 1023, 32)
+        with pytest.raises(ValueError):
+            reference.compress_value(math.inf, 1023, 32)
+
+    def test_underflow_to_zero_when_k_large(self):
+        # k = 40 > l-2 for l=32: value vanishes entirely
+        c = reference.compress_value(2.0 ** -40, 1023, 32)
+        assert c == 0
+
+    def test_fits_in_l_bits(self):
+        for v in (0.999, -0.001, 0.5, -1.0):
+            c = reference.compress_value(v, 1023, 21)
+            assert 0 <= c < (1 << 21)
+
+
+class TestBlockRoundtrip:
+    def test_example_block(self):
+        vals = [0.75, -0.5, 0.25, 1.0]
+        e_max, cs = reference.compress_block(vals, 32)
+        assert e_max == 1023
+        out = reference.decompress_block(e_max, cs, 32)
+        assert out == vals  # all exactly representable
+
+    def test_truncation_toward_zero(self):
+        vals = [1.0 / 3.0]
+        e_max, cs = reference.compress_block(vals, 16)
+        (out,) = reference.decompress_block(e_max, cs, 16)
+        assert 0 < out <= vals[0]
+        assert vals[0] - out < 2.0 ** (e_max - 1023 - 14)
+
+    def test_rounding_mode(self):
+        vals = [1.0 / 3.0]
+        e_max, cs = reference.compress_block(vals, 16, rounding=True)
+        (out,) = reference.decompress_block(e_max, cs, 16)
+        assert abs(out - vals[0]) <= 2.0 ** (e_max - 1023 - 14 - 1)
+
+    def test_zero_block(self):
+        e_max, cs = reference.compress_block([0.0, -0.0], 32)
+        out = reference.decompress_block(e_max, cs, 32)
+        assert out[0] == 0.0 and not math.copysign(1, out[0]) < 0
+        assert out[1] == 0.0 and math.copysign(1, out[1]) < 0
+
+    @given(
+        st.lists(
+            # subnormal results flush to zero on decode, which can exceed
+            # the normal-range grid bound; the bound holds for normal input
+            st.floats(
+                min_value=-1.0, max_value=1.0, allow_nan=False, allow_subnormal=False
+            ),
+            min_size=1,
+            max_size=32,
+        ),
+        st.sampled_from([12, 16, 21, 32, 48]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_error_bound_property(self, vals, l):
+        e_max, cs = reference.compress_block(vals, l)
+        out = reference.decompress_block(e_max, cs, l)
+        bound = math.ldexp(1.0, e_max - 1023 - (l - 2))
+        for v, o in zip(vals, out):
+            assert abs(v - o) < bound
+            assert abs(o) <= abs(v)  # truncation shrinks magnitude
+
+
+class TestTrace:
+    def test_trace_matches_direct_compression(self):
+        vals = [0.8, -0.3]
+        trace = reference.trace_block_compression(vals, 16)
+        e_max, cs = reference.compress_block(vals, 16)
+        assert trace.e_max == e_max
+        assert trace.compressed == cs
+        assert trace.decompressed == reference.decompress_block(e_max, cs, 16)
+
+    def test_trace_records_all_steps(self):
+        trace = reference.trace_block_compression([1.0, 0.5], 32)
+        assert trace.signs == [0, 0]
+        assert trace.exponents == [1023, 1022]
+        assert trace.e_max == 1023
+        assert trace.shifts == [22, 23]
+
+    def test_format_steps_is_printable(self):
+        trace = reference.trace_block_compression([0.8, -0.3], 16)
+        text = trace.format_steps(16)
+        assert "e_max" in text
+        assert "step 1" in text
+        assert len(text.splitlines()) >= 5

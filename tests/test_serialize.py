@@ -1,0 +1,91 @@
+"""Tests for the FRSZ2 binary container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FRSZ2
+from repro.core.serialize import dump_bytes, dump_file, load_bytes, load_file
+
+
+def compressed(l=32, bs=32, n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    return FRSZ2(l, bs), FRSZ2(l, bs).compress(rng.standard_normal(n))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("l", [16, 21, 32, 64])
+    def test_bytes_roundtrip(self, l):
+        codec, comp = compressed(l=l, seed=l)
+        out = load_bytes(dump_bytes(comp))
+        assert out.layout == comp.layout
+        assert np.array_equal(out.exponents, comp.exponents)
+        assert np.array_equal(out.payload, comp.payload)
+        assert np.array_equal(codec.decompress(out), codec.decompress(comp))
+
+    def test_file_roundtrip(self, tmp_path):
+        codec, comp = compressed(seed=1)
+        path = tmp_path / "vec.frz2"
+        dump_file(path, comp)
+        out = load_file(path)
+        assert np.array_equal(codec.decompress(out), codec.decompress(comp))
+
+    def test_empty_array(self):
+        codec = FRSZ2()
+        comp = codec.compress(np.zeros(0))
+        out = load_bytes(dump_bytes(comp))
+        assert out.n == 0
+        assert codec.decompress(out).size == 0
+
+    def test_custom_block_size(self):
+        codec, comp = compressed(l=21, bs=8, n=137, seed=2)
+        out = load_bytes(dump_bytes(comp))
+        assert out.layout.block_size == 8
+        assert np.array_equal(codec.decompress(out), codec.decompress(comp))
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.sampled_from([12, 16, 21, 32]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, n, l):
+        rng = np.random.default_rng(n * 31 + l)
+        x = rng.standard_normal(n)
+        codec = FRSZ2(l)
+        comp = codec.compress(x)
+        out = load_bytes(dump_bytes(comp))
+        assert np.array_equal(codec.decompress(out), codec.decompress(comp))
+
+
+class TestValidation:
+    def test_truncated_header(self):
+        with pytest.raises(ValueError, match="truncated"):
+            load_bytes(b"FR")
+
+    def test_bad_magic(self):
+        _, comp = compressed()
+        data = b"XXXX" + dump_bytes(comp)[4:]
+        with pytest.raises(ValueError, match="magic"):
+            load_bytes(data)
+
+    def test_bad_version(self):
+        import struct
+
+        _, comp = compressed()
+        data = bytearray(dump_bytes(comp))
+        struct.pack_into("<H", data, 4, 999)
+        with pytest.raises(ValueError, match="version"):
+            load_bytes(bytes(data))
+
+    def test_size_mismatch(self):
+        _, comp = compressed()
+        with pytest.raises(ValueError, match="size mismatch"):
+            load_bytes(dump_bytes(comp) + b"\0")
+        with pytest.raises(ValueError, match="size mismatch"):
+            load_bytes(dump_bytes(comp)[:-1])
+
+    def test_loaded_arrays_are_writable_copies(self):
+        codec, comp = compressed()
+        out = load_bytes(dump_bytes(comp))
+        out.exponents[0] += 1  # must not raise (frombuffer is read-only)

@@ -1,0 +1,206 @@
+"""Tests for the SZ-like prediction-based comparator compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import ErrorBoundMode, SZLike
+from repro.compressors.metrics import max_abs_error, max_pointwise_relative_error
+
+
+def krylov_vector(n=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    return x / np.linalg.norm(x)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            SZLike(0.0)
+        with pytest.raises(ValueError):
+            SZLike(-1e-6)
+
+    def test_rejects_fixed_rate_mode(self):
+        with pytest.raises(ValueError):
+            SZLike(1e-6, ErrorBoundMode.FIXED_RATE)
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            SZLike(1e-6, variant="sz4")
+
+    def test_rejects_nonfinite_input(self):
+        with pytest.raises(ValueError):
+            SZLike(1e-6).compress(np.array([1.0, np.inf]))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            SZLike(1e-6).compress(np.ones((3, 3)))
+
+
+class TestAbsoluteBound:
+    @pytest.mark.parametrize("eb", [1e-3, 1e-6, 1e-8])
+    @pytest.mark.parametrize("variant", ["sz", "sz3"])
+    def test_bound_on_krylov_data(self, eb, variant):
+        x = krylov_vector()
+        comp = SZLike(eb, ErrorBoundMode.ABSOLUTE, variant=variant)
+        y = comp.roundtrip(x)
+        assert max_abs_error(x, y) <= eb * (1 + 1e-9)
+
+    def test_bound_on_smooth_data(self):
+        t = np.linspace(0, 8 * np.pi, 10_000)
+        x = np.sin(t) * np.exp(-t / 20)
+        comp = SZLike(1e-5)
+        assert max_abs_error(x, comp.roundtrip(x)) <= 1e-5 * (1 + 1e-9)
+
+    def test_smooth_data_compresses_much_better_than_noise(self):
+        """The decorrelation premise: predictors win on smooth data only."""
+        t = np.linspace(0, 8 * np.pi, 10_000)
+        smooth = np.sin(t)
+        noise = krylov_vector(10_000)
+        comp = SZLike(1e-6)
+        smooth_bits = comp.compress(smooth).bits_per_value
+        noise_bits = comp.compress(noise).bits_per_value
+        assert smooth_bits < noise_bits / 2
+
+    def test_uncorrelated_data_is_counterproductive(self):
+        """Paper Section III-A: on Krylov vectors SZ can exceed 64 bits."""
+        x = krylov_vector(20_000)
+        comp = SZLike(1e-8)
+        assert comp.compress(x).bits_per_value > 32.0
+
+    def test_large_values_stored_as_outliers(self):
+        x = np.array([1e200, 1.0, -1e180, 0.5])
+        comp = SZLike(1e-8)
+        y = comp.roundtrip(x)
+        assert y[0] == 1e200 and y[2] == -1e180
+        assert abs(y[1] - 1.0) <= 1e-8 and abs(y[3] - 0.5) <= 1e-8
+
+    def test_zeros_reconstruct_exactly(self):
+        x = np.zeros(100)
+        assert np.array_equal(SZLike(1e-6).roundtrip(x), x)
+
+    def test_empty_input(self):
+        comp = SZLike(1e-6)
+        buf = comp.compress(np.zeros(0))
+        assert comp.decompress(buf).size == 0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.sampled_from([1e-2, 1e-5, 1e-9]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_bound(self, vals, eb):
+        x = np.array(vals)
+        y = SZLike(eb).roundtrip(x)
+        assert max_abs_error(x, y) <= eb * (1 + 1e-9)
+
+
+class TestPointwiseRelativeBound:
+    @pytest.mark.parametrize("variant", ["sz", "sz3"])
+    def test_bound_on_krylov_data(self, variant):
+        x = krylov_vector()
+        comp = SZLike(1e-4, ErrorBoundMode.POINTWISE_RELATIVE, variant=variant)
+        y = comp.roundtrip(x)
+        assert max_pointwise_relative_error(x, y) <= 1e-4 * (1 + 1e-9)
+
+    def test_magnitudes_spanning_many_decades(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(2000) * 10.0 ** rng.integers(-150, 150, 2000)
+        comp = SZLike(1e-3, ErrorBoundMode.POINTWISE_RELATIVE)
+        y = comp.roundtrip(x)
+        assert max_pointwise_relative_error(x, y) <= 1e-3 * (1 + 1e-9)
+
+    def test_signs_preserved(self):
+        x = np.array([-1.0, 2.0, -3.0, 4.0, -5e-30])
+        y = SZLike(1e-4, ErrorBoundMode.POINTWISE_RELATIVE).roundtrip(x)
+        assert np.array_equal(np.sign(y), np.sign(x))
+
+    def test_zeros_exact(self):
+        x = np.array([0.0, 1.0, 0.0, -2.0])
+        y = SZLike(1e-4, ErrorBoundMode.POINTWISE_RELATIVE).roundtrip(x)
+        assert y[0] == 0.0 and y[2] == 0.0
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e10,
+                max_value=1e10,
+                allow_nan=False,
+                allow_subnormal=False,
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_bound(self, vals):
+        x = np.array(vals)
+        y = SZLike(1e-3, ErrorBoundMode.POINTWISE_RELATIVE).roundtrip(x)
+        assert max_pointwise_relative_error(x, y) <= 1e-3 * (1 + 1e-9)
+
+
+class TestStrictDecode:
+    """The streams must be self-describing: bitstream decode == cache."""
+
+    @pytest.mark.parametrize("variant", ["sz", "sz3"])
+    def test_strict_equals_fast_path_absolute(self, variant):
+        x = krylov_vector(800, seed=7)
+        comp = SZLike(1e-6, variant=variant)
+        buf = comp.compress(x)
+        fast = comp.decompress(buf)
+        strict = comp.decompress(buf, strict=True)
+        assert np.array_equal(fast, strict)
+
+    def test_strict_equals_fast_path_relative(self):
+        x = krylov_vector(500, seed=8)
+        comp = SZLike(1e-4, ErrorBoundMode.POINTWISE_RELATIVE)
+        buf = comp.compress(x)
+        assert np.array_equal(comp.decompress(buf), comp.decompress(buf, strict=True))
+
+    def test_strict_with_escapes_and_outliers(self):
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal(300)
+        x[10] = 1e250  # lattice outlier
+        comp = SZLike(1e-9, variant="sz3")
+        buf = comp.compress(x)
+        assert np.array_equal(comp.decompress(buf), comp.decompress(buf, strict=True))
+
+
+class TestPredictorSelection:
+    def test_sz3_picks_regression_on_noisy_linear_data(self):
+        """Lorenzo-1 doubles the noise variance on trend data; the block
+        regression predictor avoids that, so SZ3 should select it."""
+        rng = np.random.default_rng(3)
+        x = np.linspace(0, 1, 8192) + rng.normal(0, 3e-7, 8192)
+        buf = SZLike(1e-7, variant="sz3").compress(x)
+        choices = buf.meta["choices"]
+        assert np.all(choices == 2)  # regression everywhere
+
+    def test_sz3_beats_sz_on_piecewise_ramps(self):
+        rng = np.random.default_rng(3)
+        x = np.concatenate(
+            [np.linspace(0, 1, 2048), np.linspace(1, -1, 2048)]
+        ) + rng.normal(0, 3e-7, 4096)
+        sz = SZLike(1e-7, variant="sz").compress(x).nbytes
+        sz3 = SZLike(1e-7, variant="sz3").compress(x).nbytes
+        assert sz3 < sz
+
+    def test_idempotent_roundtrip(self):
+        x = krylov_vector(1000, seed=11)
+        comp = SZLike(1e-6)
+        once = comp.roundtrip(x)
+        assert np.array_equal(once, comp.roundtrip(once))
+
+    def test_deterministic(self):
+        x = krylov_vector(1000, seed=12)
+        comp = SZLike(1e-6)
+        a = comp.compress(x)
+        b = comp.compress(x)
+        assert a.streams["huffman"] == b.streams["huffman"]
+        assert a.nbytes == b.nbytes

@@ -1,0 +1,183 @@
+"""Tests for the ZFP-like block-transform comparator compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import ErrorBoundMode, ZFPLike
+from repro.compressors.metrics import max_abs_error
+from repro.compressors.zfplike import forward_transform, inverse_transform
+
+
+def krylov_vector(n=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    return x / np.linalg.norm(x)
+
+
+class TestTransform:
+    def test_inverse_exact_small(self):
+        y = np.array([[1, 2, 3, 4], [-5, 7, 0, -1]], dtype=np.int64)
+        assert np.array_equal(inverse_transform(forward_transform(y)), y)
+
+    def test_inverse_exact_random(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(-(1 << 60), 1 << 60, (1000, 4)).astype(np.int64)
+        assert np.array_equal(inverse_transform(forward_transform(y)), y)
+
+    def test_constant_block_concentrates_energy(self):
+        """Decorrelation works when values correlate: details vanish."""
+        y = np.full((1, 4), 12345, dtype=np.int64)
+        t = forward_transform(y)
+        assert t[0, 0] == 12345
+        assert np.array_equal(t[0, 1:], [0, 0, 0])
+
+    def test_linear_ramp_small_details(self):
+        y = np.arange(4, dtype=np.int64).reshape(1, 4) * 1000
+        t = forward_transform(y)
+        assert abs(t[0, 2]) <= 1000 and abs(t[0, 3]) <= 1000
+
+    @given(st.lists(st.integers(min_value=-(1 << 61), max_value=1 << 61), min_size=4, max_size=4))
+    @settings(max_examples=200, deadline=None)
+    def test_inverse_property(self, vals):
+        y = np.array([vals], dtype=np.int64)
+        assert np.array_equal(inverse_transform(forward_transform(y)), y)
+
+
+class TestConstruction:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ZFPLike(ErrorBoundMode.FIXED_RATE, rate=2)
+        with pytest.raises(ValueError):
+            ZFPLike(ErrorBoundMode.FIXED_RATE, rate=100)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            ZFPLike(ErrorBoundMode.ABSOLUTE, tolerance=0.0)
+
+    def test_rejects_pwrel_mode(self):
+        with pytest.raises(ValueError):
+            ZFPLike(ErrorBoundMode.POINTWISE_RELATIVE)
+
+
+class TestFixedRate:
+    @pytest.mark.parametrize("rate", [16, 32, 48])
+    def test_bits_per_value_matches_rate(self, rate):
+        x = krylov_vector(4096)
+        buf = ZFPLike(ErrorBoundMode.FIXED_RATE, rate=rate).compress(x)
+        # budget is rate*4 bits per block incl. 16-bit exponent; integer
+        # division can only make it smaller, header is 16 bytes
+        assert buf.bits_per_value <= rate + 0.5
+
+    def test_higher_rate_lower_error(self):
+        x = krylov_vector(4096, seed=1)
+        errs = [
+            max_abs_error(x, ZFPLike(ErrorBoundMode.FIXED_RATE, rate=r).roundtrip(x))
+            for r in (8, 16, 32, 64)
+        ]
+        assert all(a > b for a, b in zip(errs, errs[1:]))
+
+    def test_roundtrip_zero_vector(self):
+        x = np.zeros(100)
+        y = ZFPLike(ErrorBoundMode.FIXED_RATE, rate=16).roundtrip(x)
+        assert np.array_equal(y, x)
+
+    def test_partial_block(self):
+        x = krylov_vector(10, seed=2)  # 2.5 blocks
+        y = ZFPLike(ErrorBoundMode.FIXED_RATE, rate=32).roundtrip(x)
+        assert y.shape == (10,)
+        assert max_abs_error(x, y) < 1e-6
+
+    def test_empty_input(self):
+        comp = ZFPLike(ErrorBoundMode.FIXED_RATE, rate=16)
+        assert comp.decompress(comp.compress(np.zeros(0))).size == 0
+
+    def test_fr32_worse_than_frsz2_32_on_krylov_data(self):
+        """Fig. 6's punchline: at the same storage, the transform-based
+        fixed-rate scheme retains less information than FRSZ2."""
+        from repro.core import FRSZ2
+
+        x = krylov_vector(32 * 512, seed=3)
+        zfp_err = np.median(
+            np.abs(ZFPLike(ErrorBoundMode.FIXED_RATE, rate=32).roundtrip(x) - x)
+        )
+        frsz2_err = np.median(np.abs(FRSZ2(32).roundtrip(x) - x))
+        assert frsz2_err < zfp_err
+
+
+class TestFixedAccuracy:
+    @pytest.mark.parametrize("tol", [1.4e-6, 4.0e-10, 1e-3])
+    def test_bound_on_krylov_data(self, tol):
+        x = krylov_vector(8192, seed=4)
+        y = ZFPLike(ErrorBoundMode.ABSOLUTE, tolerance=tol).roundtrip(x)
+        assert max_abs_error(x, y) <= tol
+
+    def test_bound_on_mixed_magnitudes(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(4000) * 10.0 ** rng.integers(-6, 3, 4000)
+        tol = 1e-7
+        y = ZFPLike(ErrorBoundMode.ABSOLUTE, tolerance=tol).roundtrip(x)
+        assert max_abs_error(x, y) <= tol
+
+    def test_tighter_tolerance_costs_more_bits(self):
+        x = krylov_vector(8192, seed=6)
+        loose = ZFPLike(ErrorBoundMode.ABSOLUTE, tolerance=1e-4).compress(x)
+        tight = ZFPLike(ErrorBoundMode.ABSOLUTE, tolerance=1e-12).compress(x)
+        assert tight.bits_per_value > loose.bits_per_value
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        ),
+        st.sampled_from([1e-2, 1e-6, 1e-10]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_bound(self, vals, tol):
+        x = np.array(vals)
+        y = ZFPLike(ErrorBoundMode.ABSOLUTE, tolerance=tol).roundtrip(x)
+        assert max_abs_error(x, y) <= tol
+
+
+class TestStrictDecode:
+    @pytest.mark.parametrize(
+        "comp",
+        [
+            ZFPLike(ErrorBoundMode.FIXED_RATE, rate=16),
+            ZFPLike(ErrorBoundMode.FIXED_RATE, rate=32),
+            ZFPLike(ErrorBoundMode.ABSOLUTE, tolerance=1e-8),
+        ],
+        ids=["fr16", "fr32", "abs8"],
+    )
+    def test_strict_equals_fast_path(self, comp):
+        x = krylov_vector(1001, seed=7)
+        buf = comp.compress(x)
+        assert np.array_equal(comp.decompress(buf), comp.decompress(buf, strict=True))
+
+    def test_strict_with_negative_values(self):
+        x = -np.abs(krylov_vector(100, seed=8))
+        comp = ZFPLike(ErrorBoundMode.FIXED_RATE, rate=24)
+        buf = comp.compress(x)
+        assert np.array_equal(comp.decompress(buf), comp.decompress(buf, strict=True))
+
+
+class TestBias:
+    def test_truncation_bias_exists_on_uncorrelated_data(self):
+        """The systematic reconstruction bias the paper blames for the
+        slower convergence of transform-based compressors (Section VI-A)."""
+        x = krylov_vector(50_000, seed=9)
+        y = ZFPLike(ErrorBoundMode.FIXED_RATE, rate=16).roundtrip(x)
+        errors = y - x
+        # floor-truncation in the transform domain biases errors downward
+        assert abs(np.mean(errors)) > 1e-9
+
+    def test_frsz2_error_is_sign_symmetric(self):
+        """FRSZ2 truncates toward zero: its error has no one-sided bias."""
+        from repro.core import FRSZ2
+
+        x = krylov_vector(50_000, seed=9)
+        errors = FRSZ2(16).roundtrip(x) - x
+        # positive values truncate down, negative truncate up: mean ~ 0
+        assert abs(np.mean(errors)) < np.abs(errors).max() / 10
