@@ -25,6 +25,10 @@ gpu
 bench
     Experiment drivers that regenerate every table and figure of the
     paper's evaluation section.
+robust
+    Fault tolerance: seeded fault injectors (bit flips, NaN/Inf, container
+    corruption), automatic precision fallback (``RobustCbGmres``), and the
+    survival-rate campaign.
 """
 
 from .core import FRSZ2, Frsz2Compressed

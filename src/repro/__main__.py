@@ -16,6 +16,9 @@ calibrate
     Run the Section V-C target-accuracy calibration over the suite.
 predict MATRIX
     Recommend a basis storage format (the §VIII future-work predictor).
+faults
+    Run the seeded fault-injection campaign (fault kind × storage
+    format × rate) and print the survival-rate table.
 """
 
 from __future__ import annotations
@@ -177,6 +180,31 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .robust import DEFAULT_FAULTS, DEFAULT_RATES, DEFAULT_STORAGES, run_campaign
+
+    try:
+        camp = run_campaign(
+            matrix=args.matrix,
+            scale=args.scale,
+            faults=args.kinds or DEFAULT_FAULTS,
+            storages=args.storages or DEFAULT_STORAGES,
+            rates=args.rates or DEFAULT_RATES,
+            seed=args.seed,
+            m=args.restart,
+            max_iter=args.max_iter,
+            hardened=not args.unhardened,
+            fallback=not args.no_fallback,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(camp.table())
+    print()
+    print(camp.summary())
+    return 0 if camp.survival_rate == 1.0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -215,6 +243,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("matrix")
     p.add_argument("--scale", default=None)
 
+    p = sub.add_parser("faults", help="run the fault-injection survival campaign")
+    p.add_argument("--matrix", default="atmosmodd")
+    p.add_argument("--scale", default=None, choices=[None, "smoke", "default", "paper"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kinds", nargs="*", default=None,
+                   help="fault kinds (default: payload/exponent bit flips, readout NaN, SpMV NaN)")
+    p.add_argument("--storages", nargs="*", default=None,
+                   help="basis storage formats to stress (default: frsz2_16 frsz2_32 float32)")
+    p.add_argument("--rates", nargs="*", type=float, default=None,
+                   help="per-operation fault probabilities (default: 0.02 0.05)")
+    p.add_argument("--restart", type=int, default=50)
+    p.add_argument("--max-iter", type=int, default=2000)
+    p.add_argument("--unhardened", action="store_true",
+                   help="disable recovery+fallback (the crash/diverge baseline)")
+    p.add_argument("--no-fallback", action="store_true",
+                   help="recovery only, no storage-format escalation")
+
     return parser
 
 
@@ -225,6 +270,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "calibrate": _cmd_calibrate,
     "predict": _cmd_predict,
+    "faults": _cmd_faults,
 }
 
 

@@ -37,12 +37,12 @@ class BlockLayout:
 
     def __post_init__(self) -> None:
         if self.n < 0:
-            raise ValueError("n must be non-negative")
+            raise ValueError(f"n must be non-negative, got {self.n}")
         if self.block_size < 1:
-            raise ValueError("block_size must be positive")
+            raise ValueError(f"block_size must be positive, got {self.block_size}")
         # l includes the sign bit and at least the integer significand bit.
         if not 2 <= self.bit_length <= 64:
-            raise ValueError("bit_length must be in [2, 64]")
+            raise ValueError(f"bit_length must be in [2, 64], got {self.bit_length}")
 
     @property
     def num_blocks(self) -> int:

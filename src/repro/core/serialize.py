@@ -7,56 +7,109 @@ and decompressed elsewhere without out-of-band metadata.
 Layout (little endian):
 
     magic   4 bytes  b"FRZ2"
-    version u16      currently 1
+    version u16      2 (v1 containers remain readable)
     l       u16      bit length
     bs      u32      block size
     n       u64      element count
     exponents: num_blocks * i32
     payload:   value stream (dtype implied by l / alignment)
+    crc     u32      (v2 only) CRC32 over header+exponents+payload
+
+The version-2 CRC32 trailer covers every preceding byte, so any
+single-bit corruption of the stream — header, exponents, payload or the
+trailer itself — is detected at load time with a ``ValueError`` instead
+of silently decompressing garbage into a solver.  Header fields are
+validated *before* any size arithmetic, so hostile containers (zero
+block size, unsupported bit length, absurd element counts) fail with a
+precise error naming the bad field rather than a downstream
+division-by-zero or overflow.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
 
 from .blocks import BlockLayout
 from .frsz2 import _ALIGNED_DTYPES, Frsz2Compressed
 
-__all__ = ["dump_bytes", "load_bytes", "dump_file", "load_file"]
+__all__ = ["dump_bytes", "load_bytes", "dump_file", "load_file", "CONTAINER_VERSION"]
 
 _MAGIC = b"FRZ2"
-_VERSION = 1
+#: current (checksummed) container version
+CONTAINER_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 _HEADER = struct.Struct("<4sHHIQ")
+_CRC = struct.Struct("<I")
 
 
-def dump_bytes(comp: Frsz2Compressed) -> bytes:
-    """Serialize a compressed array to bytes."""
+def dump_bytes(comp: Frsz2Compressed, version: int = CONTAINER_VERSION) -> bytes:
+    """Serialize a compressed array to bytes.
+
+    ``version=1`` writes the legacy container without the CRC32 trailer
+    (for interoperability with pre-v2 readers).
+    """
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"cannot write FRSZ2 container version {version}; "
+            f"supported: {_SUPPORTED_VERSIONS}"
+        )
     layout = comp.layout
     header = _HEADER.pack(
-        _MAGIC, _VERSION, layout.bit_length, layout.block_size, layout.n
+        _MAGIC, version, layout.bit_length, layout.block_size, layout.n
     )
-    return header + comp.exponents.tobytes() + comp.payload.tobytes()
+    body = header + comp.exponents.tobytes() + comp.payload.tobytes()
+    if version == 1:
+        return body
+    return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
 
 
 def load_bytes(data: bytes) -> Frsz2Compressed:
-    """Reconstruct a compressed array from :func:`dump_bytes` output."""
+    """Reconstruct a compressed array from :func:`dump_bytes` output.
+
+    Raises ``ValueError`` naming the offending field for any malformed,
+    truncated or (v2) corrupted container.
+    """
     if len(data) < _HEADER.size:
-        raise ValueError("truncated FRSZ2 container")
+        raise ValueError(
+            f"truncated FRSZ2 container: {len(data)} bytes < "
+            f"{_HEADER.size}-byte header"
+        )
     magic, version, l, bs, n = _HEADER.unpack_from(data)
     if magic != _MAGIC:
         raise ValueError("not an FRSZ2 container (bad magic)")
-    if version != _VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported FRSZ2 container version {version}")
+    # Validate header fields before any size arithmetic touches them.
+    if bs == 0:
+        raise ValueError("invalid FRSZ2 container header: block_size must be positive, got 0")
+    if not 2 <= l <= 64:
+        raise ValueError(
+            f"invalid FRSZ2 container header: bit_length must be in [2, 64], got {l}"
+        )
     layout = BlockLayout(n, bs, l)
     off = _HEADER.size
     exp_bytes = layout.num_blocks * 4
-    expected = _HEADER.size + exp_bytes + _payload_nbytes(layout)
+    trailer = _CRC.size if version >= 2 else 0
+    body_size = _HEADER.size + exp_bytes + _payload_nbytes(layout)
+    expected = body_size + trailer
     if len(data) != expected:
+        # Python ints don't overflow, so a hostile element count simply
+        # produces an expected size the data can't match.
         raise ValueError(
-            f"FRSZ2 container size mismatch: expected {expected}, got {len(data)}"
+            f"FRSZ2 container size mismatch for n={n}, block_size={bs}, "
+            f"bit_length={l}: expected {expected} bytes, got {len(data)}"
         )
+    if version >= 2:
+        stored = _CRC.unpack_from(data, body_size)[0]
+        actual = zlib.crc32(data[:body_size]) & 0xFFFFFFFF
+        if stored != actual:
+            raise ValueError(
+                f"FRSZ2 container checksum mismatch: stored 0x{stored:08x}, "
+                f"computed 0x{actual:08x} (corrupted stream)"
+            )
     exponents = np.frombuffer(data, dtype=np.int32, count=layout.num_blocks, offset=off).copy()
     off += exp_bytes
     if layout.is_aligned:
@@ -75,10 +128,10 @@ def _payload_nbytes(layout: BlockLayout) -> int:
     return layout.value_words * 4
 
 
-def dump_file(path, comp: Frsz2Compressed) -> None:
+def dump_file(path, comp: Frsz2Compressed, version: int = CONTAINER_VERSION) -> None:
     """Write a compressed array to ``path``."""
     with open(path, "wb") as fh:
-        fh.write(dump_bytes(comp))
+        fh.write(dump_bytes(comp, version=version))
 
 
 def load_file(path) -> Frsz2Compressed:

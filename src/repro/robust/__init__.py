@@ -1,0 +1,67 @@
+"""Fault tolerance for CB-GMRES: injection, recovery, and fallback.
+
+The compressed-basis argument of the paper is an accuracy/robustness
+trade; this subsystem makes the robustness side measurable and then
+closes it:
+
+faults
+    Seeded, deterministic injectors — FRSZ2 payload/exponent bit flips,
+    accessor round-trip corruption, NaN/Inf in SpMV outputs, serialized
+    container bit flips and truncation.
+fallback
+    :class:`FallbackPolicy` / :class:`RobustCbGmres`: storage formats
+    tried lossy-first and escalated on stall or recovery exhaustion,
+    with uncompressed float64 as the correctness-guaranteeing terminal.
+campaign
+    A survival-rate sweep over fault kind × storage format × rate,
+    rendered with :mod:`repro.bench.report`.
+
+Solver-side breakdown *detection* (non-finite Arnoldi quantities, loss
+of orthogonality) lives in :mod:`repro.solvers`; this package builds the
+injection and escalation machinery on top of it.
+"""
+
+from .campaign import (
+    DEFAULT_FAULTS,
+    DEFAULT_RATES,
+    DEFAULT_STORAGES,
+    SURVIVING_OUTCOMES,
+    CampaignCell,
+    CampaignResult,
+    run_campaign,
+)
+from .fallback import DEFAULT_CHAIN, FallbackPolicy, RobustCbGmres, RobustResult
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultyAccessor,
+    FaultySpmvMatrix,
+    flip_array_bit,
+    flip_container_bit,
+    flip_exponent_bit,
+    flip_payload_bit,
+    truncate_container,
+)
+
+__all__ = [
+    "DEFAULT_CHAIN",
+    "DEFAULT_FAULTS",
+    "DEFAULT_RATES",
+    "DEFAULT_STORAGES",
+    "SURVIVING_OUTCOMES",
+    "CampaignCell",
+    "CampaignResult",
+    "run_campaign",
+    "FallbackPolicy",
+    "RobustCbGmres",
+    "RobustResult",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultyAccessor",
+    "FaultySpmvMatrix",
+    "flip_array_bit",
+    "flip_container_bit",
+    "flip_exponent_bit",
+    "flip_payload_bit",
+    "truncate_container",
+]

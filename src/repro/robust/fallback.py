@@ -1,0 +1,204 @@
+"""Automatic precision fallback for CB-GMRES.
+
+The compressed-basis trade-off is probabilistic: a lossy storage format
+usually converges like float64 (the paper's headline result), but on a
+hostile spectrum — or under hardware faults — it can stall or exhaust
+its recovery budget.  :class:`RobustCbGmres` turns that into a
+guarantee: storage formats are tried cheapest-first along a
+``FallbackPolicy`` chain, escalating whenever an attempt fails, with
+uncompressed ``float64`` as the correctness-guaranteeing terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..accessor import VectorAccessor, make_accessor
+from ..solvers.gmres import (
+    DEFAULT_MAX_ITER,
+    DEFAULT_MAX_RECOVERIES,
+    DEFAULT_RESTART,
+    CbGmres,
+    GmresResult,
+)
+from ..solvers.orthogonal import DEFAULT_ETA
+from ..solvers.preconditioner import Preconditioner
+
+__all__ = ["FallbackPolicy", "RobustResult", "RobustCbGmres"]
+
+#: lossy-first default chain ending in the exact float64 terminal
+DEFAULT_CHAIN = ("frsz2_16", "frsz2_32", "float64")
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """When and how to escalate the Krylov-basis storage format.
+
+    ``chain`` is tried in order; an attempt that converges ends the
+    solve.  An attempt fails — and the next format is tried — when it
+    stalls, exhausts its ``max_recoveries`` budget, or hits its
+    iteration cap.  ``carry_solution`` warm-starts each escalation from
+    the best finite iterate found so far, so work done in a lossy format
+    is never thrown away.
+    """
+
+    chain: Tuple[str, ...] = DEFAULT_CHAIN
+    max_recoveries: int = DEFAULT_MAX_RECOVERIES
+    #: stall window per attempt (tighter than CbGmres' default of 8 so
+    #: hopeless formats hand over quickly)
+    stall_restarts: Optional[int] = 4
+    carry_solution: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise ValueError("fallback chain must name at least one storage format")
+
+    def chain_from(self, storage: str) -> "FallbackPolicy":
+        """This policy with ``chain`` starting at ``storage``.
+
+        If ``storage`` is in the chain, the chain is truncated to start
+        there; otherwise the format escalates straight to the chain's
+        terminal (the correctness guarantee).
+        """
+        if storage in self.chain:
+            chain = self.chain[self.chain.index(storage):]
+        elif storage == self.chain[-1]:
+            chain = (storage,)
+        else:
+            chain = (storage, self.chain[-1])
+        return FallbackPolicy(
+            chain=chain,
+            max_recoveries=self.max_recoveries,
+            stall_restarts=self.stall_restarts,
+            carry_solution=self.carry_solution,
+        )
+
+
+@dataclass
+class RobustResult:
+    """Outcome of a fallback-chain solve.
+
+    ``attempts`` holds one :class:`GmresResult` per storage format
+    tried, in chain order; ``result`` is the last (authoritative) one.
+    """
+
+    result: GmresResult
+    attempts: List[GmresResult]
+
+    @property
+    def x(self) -> np.ndarray:
+        return self.result.x
+
+    @property
+    def converged(self) -> bool:
+        return self.result.converged
+
+    @property
+    def final_rrn(self) -> float:
+        return self.result.final_rrn
+
+    @property
+    def storage_used(self) -> str:
+        """The storage format of the attempt that produced ``x``."""
+        return self.result.storage
+
+    @property
+    def fell_back(self) -> bool:
+        """True when at least one escalation was needed."""
+        return len(self.attempts) > 1
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(a.iterations for a in self.attempts)
+
+    @property
+    def total_recoveries(self) -> int:
+        return sum(a.recoveries for a in self.attempts)
+
+    @property
+    def outcome(self) -> str:
+        """``converged`` | ``fell_back`` | ``failed`` (for reports)."""
+        if self.converged:
+            return "fell_back" if self.fell_back else "converged"
+        return "failed"
+
+
+class RobustCbGmres:
+    """CB-GMRES with breakdown recovery and automatic precision fallback.
+
+    Parameters mirror :class:`~repro.solvers.gmres.CbGmres`, with the
+    storage format replaced by a :class:`FallbackPolicy`.
+    ``accessor_factory``, when given, maps ``(storage, n)`` to an
+    accessor — the hook the fault-injection campaign uses to wrap every
+    attempt's basis in a :class:`~repro.robust.faults.FaultyAccessor`.
+    """
+
+    def __init__(
+        self,
+        a,
+        policy: Optional[FallbackPolicy] = None,
+        m: int = DEFAULT_RESTART,
+        eta: float = DEFAULT_ETA,
+        max_iter: int = DEFAULT_MAX_ITER,
+        accessor_factory: "Callable[[str, int], VectorAccessor] | None" = None,
+        preconditioner: Optional[Preconditioner] = None,
+        orthogonalization: str = "cgs",
+    ) -> None:
+        self.a = a
+        self.policy = policy or FallbackPolicy()
+        self.m = int(m)
+        self.eta = float(eta)
+        self.max_iter = int(max_iter)
+        self._factory = accessor_factory
+        self.preconditioner = preconditioner
+        self.orthogonalization = orthogonalization
+        if accessor_factory is None:
+            # fail fast on unknown format names in the chain
+            for storage in self.policy.chain:
+                make_accessor(storage, 0)
+
+    def solve(
+        self,
+        b: np.ndarray,
+        target_rrn: float,
+        x0: Optional[np.ndarray] = None,
+        record_history: bool = False,
+    ) -> RobustResult:
+        """Walk the fallback chain until an attempt converges."""
+        attempts: List[GmresResult] = []
+        x_start = x0
+        best_rrn = np.inf
+        for storage in self.policy.chain:
+            factory = None
+            if self._factory is not None:
+                factory = (lambda n, s=storage: self._factory(s, n))
+            solver = CbGmres(
+                self.a,
+                storage,
+                m=self.m,
+                eta=self.eta,
+                max_iter=self.max_iter,
+                stall_restarts=self.policy.stall_restarts,
+                accessor_factory=factory,
+                preconditioner=self.preconditioner,
+                orthogonalization=self.orthogonalization,
+                recovery=True,
+                max_recoveries=self.policy.max_recoveries,
+            )
+            res = solver.solve(
+                b, target_rrn, x0=x_start, record_history=record_history
+            )
+            attempts.append(res)
+            if res.converged:
+                break
+            if (
+                self.policy.carry_solution
+                and np.all(np.isfinite(res.x))
+                and res.final_rrn < best_rrn
+            ):
+                best_rrn = res.final_rrn
+                x_start = res.x
+        return RobustResult(result=attempts[-1], attempts=attempts)

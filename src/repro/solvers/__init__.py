@@ -6,7 +6,9 @@ from .calibration import CalibrationResult, calibrate_suite, calibrate_target
 from .fgmres import FlexibleGmres
 from .gmres import (
     DEFAULT_MAX_ITER,
+    DEFAULT_MAX_RECOVERIES,
     DEFAULT_RESTART,
+    BreakdownEvent,
     CbGmres,
     GmresResult,
     ResidualSample,
@@ -42,11 +44,13 @@ __all__ = [
     "CalibrationResult",
     "calibrate_suite",
     "calibrate_target",
+    "BreakdownEvent",
     "CbGmres",
     "GmresResult",
     "ResidualSample",
     "SolveStats",
     "DEFAULT_MAX_ITER",
+    "DEFAULT_MAX_RECOVERIES",
     "DEFAULT_RESTART",
     "GivensLeastSquares",
     "DEFAULT_ETA",

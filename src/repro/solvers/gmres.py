@@ -32,12 +32,20 @@ from .hessenberg import GivensLeastSquares
 from .orthogonal import DEFAULT_ETA, cgs_orthogonalize, mgs_orthogonalize
 from .preconditioner import IdentityPreconditioner, Preconditioner
 
-__all__ = ["ResidualSample", "SolveStats", "GmresResult", "CbGmres"]
+__all__ = [
+    "ResidualSample",
+    "BreakdownEvent",
+    "SolveStats",
+    "GmresResult",
+    "CbGmres",
+]
 
 #: paper default restart length
 DEFAULT_RESTART = 100
 #: paper default iteration cap (Section V-C calibration runs)
 DEFAULT_MAX_ITER = 20_000
+#: default bound on poisoned-cycle recoveries before the solve gives up
+DEFAULT_MAX_RECOVERIES = 10
 
 
 @dataclass(frozen=True)
@@ -48,6 +56,24 @@ class ResidualSample:
     rrn: float
     #: "implicit" (Givens estimate) or "explicit" (recomputed at restart)
     kind: str
+
+
+@dataclass(frozen=True)
+class BreakdownEvent:
+    """One detected Arnoldi breakdown or poisoned cycle.
+
+    ``kind`` is one of ``"nonfinite_spmv"`` (NaN/Inf out of the matvec),
+    ``"nonfinite_orthogonalization"`` (corrupted basis contaminated the
+    Hessenberg column), ``"nonfinite_update"`` (the solution update
+    itself was poisoned), ``"nonfinite_residual"`` (the restart residual
+    came back non-finite), ``"basis_write_failed"`` (the storage format
+    rejected the vector), or ``"loss_of_orthogonality"`` (the
+    re-orthogonalization pass failed the eta test again).
+    """
+
+    iteration: int
+    kind: str
+    detail: str = ""
 
 
 @dataclass
@@ -75,6 +101,8 @@ class SolveStats:
     preconditioner_applies: int = 0
     #: basis-vector reads that bypass compression (FGMRES's V basis)
     uncompressed_basis_reads: int = 0
+    #: poisoned Arnoldi cycles discarded and restarted (fault tolerance)
+    recoveries: int = 0
 
 
 @dataclass
@@ -90,6 +118,15 @@ class GmresResult:
     history: List[ResidualSample] = field(default_factory=list)
     stats: SolveStats = field(default_factory=SolveStats)
     stalled: bool = False
+    #: every breakdown/fault detected during the solve (empty = clean run)
+    breakdown_events: List[BreakdownEvent] = field(default_factory=list)
+    #: the recovery budget ran out before the solve could finish
+    recovery_exhausted: bool = False
+
+    @property
+    def recoveries(self) -> int:
+        """Poisoned cycles that were discarded and restarted."""
+        return self.stats.recoveries
 
     def history_arrays(self, kind: Optional[str] = None):
         """(iterations, rrns) arrays, optionally filtered by sample kind."""
@@ -131,6 +168,24 @@ class CbGmres:
         ``"cgs"`` (Fig. 1: classical Gram-Schmidt + conditional
         re-orthogonalization, Ginkgo's choice) or ``"mgs"`` (modified
         Gram-Schmidt, for numerical comparisons).
+    recovery:
+        When True (default), NaN/Inf escaping the Arnoldi loop — from a
+        faulty SpMV, a corrupted stored basis vector, or a poisoned
+        orthogonalization — ends the cycle at the fault: Hessenberg
+        columns absorbed *before* the fault are salvaged into a partial
+        solution update, the poisoned tail is discarded, and the next
+        cycle restarts from a fresh explicit residual instead of
+        crashing or silently diverging.  Each such event is a
+        *recovery*, logged in ``SolveStats.recoveries`` and
+        ``GmresResult.breakdown_events``.
+    max_recoveries:
+        Bound on *consecutive fruitless* recoveries: the counter grows
+        with every recovery and resets whenever the explicit residual
+        improves, so transient faults never kill a progressing solve
+        while persistent faults end it promptly with
+        ``recovery_exhausted=True`` (callers such as
+        :class:`repro.robust.RobustCbGmres` then escalate the storage
+        format).
     """
 
     def __init__(
@@ -145,6 +200,8 @@ class CbGmres:
         accessor_factory: "Callable[[int], VectorAccessor] | None" = None,
         preconditioner: Optional[Preconditioner] = None,
         orthogonalization: str = "cgs",
+        recovery: bool = True,
+        max_recoveries: int = DEFAULT_MAX_RECOVERIES,
     ) -> None:
         if a.shape[0] != a.shape[1]:
             raise ValueError("GMRES requires a square matrix")
@@ -162,6 +219,10 @@ class CbGmres:
         if orthogonalization not in ("cgs", "mgs"):
             raise ValueError("orthogonalization must be 'cgs' or 'mgs'")
         self.orthogonalization = orthogonalization
+        self.recovery = bool(recovery)
+        if max_recoveries < 0:
+            raise ValueError("max_recoveries must be non-negative")
+        self.max_recoveries = int(max_recoveries)
 
     def solve(
         self,
@@ -211,9 +272,21 @@ class CbGmres:
 
         total_iters = 0
         stagnant = 0
+        fruitless = 0
         prev_explicit = np.inf
+        rrn = np.inf
         converged = False
         stalled = False
+        events: List[BreakdownEvent] = []
+        exhausted = False
+
+        def recover(event: BreakdownEvent) -> bool:
+            """Log a recovery; True while the fruitless budget remains."""
+            nonlocal fruitless
+            events.append(event)
+            stats.recoveries += 1
+            fruitless += 1
+            return fruitless <= self.max_recoveries
 
         while True:
             # -- (re)start: explicit residual ---------------------------
@@ -221,7 +294,16 @@ class CbGmres:
             stats.spmv_calls += 1
             stats.dense_vector_ops += 2
             beta = float(np.linalg.norm(r))
+            if self.recovery and not np.isfinite(beta):
+                # a fault in the restart SpMV itself (x is known finite:
+                # poisoned updates are never applied) — recompute
+                if recover(BreakdownEvent(total_iters, "nonfinite_residual")):
+                    continue
+                exhausted = True
+                break
             rrn = beta / bnorm
+            if rrn < prev_explicit:
+                fruitless = 0  # real progress: replenish the budget
             if record_history:
                 history.append(ResidualSample(total_iters, rrn, "explicit"))
             if rrn <= target_rrn:
@@ -247,6 +329,7 @@ class CbGmres:
 
             # -- Arnoldi cycle ------------------------------------------
             j_used = 0
+            poison: Optional[BreakdownEvent] = None
             for j in range(1, self.m + 1):
                 # Fig. 1 step 2: w := A (M^-1 v); the newest vector stays
                 # in double precision
@@ -257,10 +340,18 @@ class CbGmres:
                     stats.preconditioner_applies += 1
                 w = a.matvec(z)
                 stats.spmv_calls += 1
+                if self.recovery and not np.all(np.isfinite(w)):
+                    poison = BreakdownEvent(total_iters, "nonfinite_spmv")
+                    break
                 ores = orthogonalize(basis, j, w, self.eta)
                 stats.basis_reads += 2 * j if ores.reorthogonalized else j
                 stats.reorthogonalizations += int(ores.reorthogonalized)
                 stats.dense_vector_ops += 4
+                if self.recovery and ores.nonfinite:
+                    poison = BreakdownEvent(
+                        total_iters, "nonfinite_orthogonalization"
+                    )
+                    break
                 total_iters += 1
                 stats.iterations += 1
                 impl = lsq.append_column(ores.h, ores.h_next) / bnorm
@@ -271,11 +362,37 @@ class CbGmres:
                     monitor(total_iters, j, basis, impl)
                 if ores.breakdown:
                     break  # happy breakdown: solution is in the subspace
+                if self.recovery and ores.loss_of_orthogonality:
+                    # the columns absorbed so far are valid: apply the
+                    # partial update below, then restart the cycle early
+                    events.append(
+                        BreakdownEvent(total_iters, "loss_of_orthogonality")
+                    )
+                    break
                 v = ores.w / ores.h_next
-                basis.write_vector(j, v)
+                try:
+                    basis.write_vector(j, v)
+                except (ValueError, OverflowError) as exc:
+                    if not self.recovery:
+                        raise
+                    poison = BreakdownEvent(
+                        total_iters, "basis_write_failed", str(exc)
+                    )
+                    break
                 stats.basis_writes += 1
                 if impl <= target_rrn or total_iters >= self.max_iter:
                     break
+
+            if poison is not None:
+                # discard the poisoned tail; columns absorbed before the
+                # fault are provably finite and are salvaged into a
+                # partial update below (the next restart re-anchors on a
+                # fresh explicit residual either way)
+                if not recover(poison):
+                    exhausted = True
+                    break
+                if j_used == 0:
+                    continue  # fault hit before any column was absorbed
 
             # -- solution update ----------------------------------------
             # Fig. 1 step 18: x := x0 + M^-1 (V_m y)
@@ -284,6 +401,12 @@ class CbGmres:
             if not prec.is_identity:
                 update = prec.apply(update)
                 stats.preconditioner_applies += 1
+            if self.recovery and not np.all(np.isfinite(update)):
+                # corrupted stored vectors leaked into V_m y: drop it
+                if recover(BreakdownEvent(total_iters, "nonfinite_update")):
+                    continue
+                exhausted = True
+                break
             x = x + update
             stats.basis_reads += j_used
             stats.dense_vector_ops += 1
@@ -291,6 +414,11 @@ class CbGmres:
 
         final_rrn = float(np.linalg.norm(b - a.matvec(x)) / bnorm)
         stats.spmv_calls += 1
+        if self.recovery and not np.isfinite(final_rrn):
+            # the verification SpMV itself was hit; x is finite, so report
+            # the last trustworthy explicit residual instead of NaN
+            events.append(BreakdownEvent(total_iters, "nonfinite_residual"))
+            final_rrn = rrn if np.isfinite(rrn) else float(prev_explicit)
         # round-trip formats only know their compressed size after writing
         stats.bits_per_value = basis.bits_per_value
         return GmresResult(
@@ -303,4 +431,6 @@ class CbGmres:
             history=history,
             stats=stats,
             stalled=stalled,
+            breakdown_events=events,
+            recovery_exhausted=exhausted,
         )

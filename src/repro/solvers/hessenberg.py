@@ -49,6 +49,11 @@ class GivensLeastSquares:
         j = self._j
         if j >= self.m:
             raise RuntimeError("least-squares system is full")
+        if not (np.isfinite(h_next) and bool(np.all(np.isfinite(h)))):
+            # A NaN/Inf here would silently poison every later rotation
+            # and the right-hand side; fail loudly so the solver's
+            # recovery path (or the caller) can discard the cycle.
+            raise FloatingPointError("non-finite Hessenberg column")
         col = np.zeros(self.m + 1)
         col[: h.size] = h
         col[h.size] = h_next

@@ -36,6 +36,43 @@ class OrthogonalizationResult:
     reorthogonalized: bool
     #: breakdown: w vanished against the basis (Fig. 1 step 12)
     breakdown: bool
+    #: a NaN/Inf contaminated the coefficients (corrupted basis or w)
+    nonfinite: bool = False
+    #: the re-orthogonalization pass failed the eta test again ("twice is
+    #: enough"): the new direction is numerically inside the stored span,
+    #: i.e. the lossy basis has lost orthogonality beyond repair
+    loss_of_orthogonality: bool = False
+
+
+def _finish(
+    h: np.ndarray,
+    h_next: float,
+    w: np.ndarray,
+    w_tilde: float,
+    reorth: bool,
+    h_first: float,
+    eta: float,
+) -> OrthogonalizationResult:
+    """Classify the step outcome shared by the CGS and MGS paths."""
+    nonfinite = not (np.isfinite(h_next) and bool(np.all(np.isfinite(h))))
+    breakdown = (not nonfinite) and (
+        h_next == 0.0 or h_next < eta * np.finfo(np.float64).eps * w_tilde
+    )
+    loss = (
+        not nonfinite
+        and not breakdown
+        and reorth
+        and h_next < eta * h_first
+    )
+    return OrthogonalizationResult(
+        h=h,
+        h_next=h_next,
+        w=w,
+        reorthogonalized=reorth,
+        breakdown=breakdown,
+        nonfinite=nonfinite,
+        loss_of_orthogonality=loss,
+    )
 
 
 def cgs_orthogonalize(
@@ -47,6 +84,7 @@ def cgs_orthogonalize(
     h = basis.dot_basis(j, w)
     w -= basis.combine(j, h)
     h_next = float(np.linalg.norm(w))
+    h_first = h_next
     reorth = False
     if h_next < eta * w_tilde:
         reorth = True
@@ -54,10 +92,7 @@ def cgs_orthogonalize(
         w -= basis.combine(j, u)
         h = h + u
         h_next = float(np.linalg.norm(w))
-    breakdown = h_next == 0.0 or h_next < eta * np.finfo(np.float64).eps * w_tilde
-    return OrthogonalizationResult(
-        h=h, h_next=h_next, w=w, reorthogonalized=reorth, breakdown=breakdown
-    )
+    return _finish(h, h_next, w, w_tilde, reorth, h_first, eta)
 
 
 def mgs_orthogonalize(
@@ -77,6 +112,7 @@ def mgs_orthogonalize(
         h[i] = float(vi @ w)
         w -= h[i] * vi
     h_next = float(np.linalg.norm(w))
+    h_first = h_next
     reorth = False
     if h_next < eta * w_tilde:
         reorth = True
@@ -86,7 +122,4 @@ def mgs_orthogonalize(
             w -= u * vi
             h[i] += u
         h_next = float(np.linalg.norm(w))
-    breakdown = h_next == 0.0 or h_next < eta * np.finfo(np.float64).eps * w_tilde
-    return OrthogonalizationResult(
-        h=h, h_next=h_next, w=w, reorthogonalized=reorth, breakdown=breakdown
-    )
+    return _finish(h, h_next, w, w_tilde, reorth, h_first, eta)

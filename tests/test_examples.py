@@ -5,6 +5,7 @@ subprocess at smoke scale and check for a clean exit and the expected
 headline output.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,6 +13,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 
 CASES = {
     "quickstart.py": "compression ratio",
@@ -21,16 +23,22 @@ CASES = {
     "roofline_h100.py": "bandwidth eff",
     "format_prediction.py": "predicted",
     "orthogonality_analysis.py": "iterations",
+    "fault_tolerance_demo.py": "survival",
 }
 
 
 def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    # propagate src/ so examples import repro from a clean checkout
+    # without requiring `pip install -e .`
+    pythonpath = str(SRC_DIR)
+    if os.environ.get("PYTHONPATH"):
+        pythonpath += os.pathsep + os.environ["PYTHONPATH"]
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name), *args],
         capture_output=True,
         text=True,
         timeout=600,
-        env={"REPRO_SCALE": "smoke", "PATH": "/usr/bin:/bin"},
+        env={"REPRO_SCALE": "smoke", "PATH": "/usr/bin:/bin", "PYTHONPATH": pythonpath},
     )
 
 

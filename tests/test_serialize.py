@@ -89,3 +89,43 @@ class TestValidation:
         codec, comp = compressed()
         out = load_bytes(dump_bytes(comp))
         out.exponents[0] += 1  # must not raise (frombuffer is read-only)
+
+
+class TestContainerV2:
+    def test_default_version_is_2_with_crc_trailer(self):
+        _, comp = compressed()
+        v1 = dump_bytes(comp, version=1)
+        v2 = dump_bytes(comp)
+        assert len(v2) == len(v1) + 4  # 4-byte CRC32 trailer
+
+    def test_both_versions_load_identically(self):
+        codec, comp = compressed(l=21, bs=8, n=137, seed=5)
+        for version in (1, 2):
+            out = load_bytes(dump_bytes(comp, version=version))
+            assert np.array_equal(codec.decompress(out), codec.decompress(comp))
+
+    def test_v2_flags_payload_corruption_v1_cannot(self):
+        _, comp = compressed(n=64)
+        v1 = bytearray(dump_bytes(comp, version=1))
+        v2 = bytearray(dump_bytes(comp, version=2))
+        pos = len(v1) - 3  # inside the payload stream for both versions
+        v1[pos] ^= 0x01
+        v2[pos] ^= 0x01
+        load_bytes(bytes(v1))  # v1 has no checksum: corruption slips through
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            load_bytes(bytes(v2))
+
+    def test_v2_flags_crc_trailer_corruption(self):
+        _, comp = compressed(n=64)
+        data = bytearray(dump_bytes(comp, version=2))
+        data[-1] ^= 0x80
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            load_bytes(bytes(data))
+
+    def test_file_roundtrip_both_versions(self, tmp_path):
+        codec, comp = compressed(seed=9)
+        for version in (1, 2):
+            path = tmp_path / f"vec_v{version}.frz2"
+            dump_file(path, comp, version=version)
+            out = load_file(path)
+            assert np.array_equal(codec.decompress(out), codec.decompress(comp))
