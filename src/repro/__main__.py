@@ -19,6 +19,11 @@ predict MATRIX
 faults
     Run the seeded fault-injection campaign (fault kind × storage
     format × rate) and print the survival-rate table.
+bench
+    Run the traced matrix × storage performance grid and emit a
+    schema-versioned ``BENCH_gmres.json`` (``--compare OLD NEW`` diffs
+    two bench files and exits nonzero on regressions; ``--check FILE``
+    validates a file against the schema).
 """
 
 from __future__ import annotations
@@ -205,6 +210,83 @@ def _cmd_faults(args) -> int:
     return 0 if camp.survival_rate == 1.0 else 1
 
 
+def _cmd_bench(args) -> int:
+    from .bench import format_table
+    from .bench.perf import (
+        BENCH_PHASES,
+        compare_bench,
+        load_bench,
+        run_bench,
+        validate_bench,
+        write_bench,
+    )
+
+    if args.compare:
+        base_path, new_path = args.compare
+        try:
+            base, new = load_bench(base_path), load_bench(new_path)
+            regressions = compare_bench(base, new, tolerance=args.tolerance)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if regressions:
+            print(f"{len(regressions)} regression(s) beyond "
+                  f"tolerance {args.tolerance:.0%}:")
+            for reg in regressions:
+                print(f"  {reg}")
+            return 1
+        print(f"no regressions beyond tolerance {args.tolerance:.0%} "
+              f"({len(base['entries'])} entries compared)")
+        return 0
+
+    if args.check:
+        try:
+            validate_bench(load_bench(args.check))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.check}: valid bench document")
+        return 0
+
+    try:
+        doc = run_bench(
+            matrices=args.matrices,
+            storages=args.storages,
+            scale=args.scale,
+            m=args.restart,
+            max_iter=args.max_iter,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    write_bench(doc, args.out)
+    rows = []
+    for e in doc["entries"]:
+        total = e["modeled_seconds"] or 1.0
+        rows.append(
+            (
+                e["matrix"],
+                e["storage"],
+                "yes" if e["converged"] else "no",
+                e["iterations"],
+                f"{e['wall_seconds'] * 1e3:.1f}",
+                f"{e['modeled_seconds'] * 1e3:.3f}",
+            )
+            + tuple(
+                f"{e['phases'][p]['modeled_seconds'] / total:.0%}"
+                for p in BENCH_PHASES
+            )
+        )
+    print(format_table(
+        f"bench grid ({doc['scale']} scale, modeled on {doc['device']})",
+        ["matrix", "storage", "conv", "iters", "wall ms", "model ms"]
+        + [f"{p}%" for p in BENCH_PHASES],
+        rows,
+    ))
+    print(f"\nwrote {args.out} ({len(doc['entries'])} entries)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -260,6 +342,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fallback", action="store_true",
                    help="recovery only, no storage-format escalation")
 
+    p = sub.add_parser(
+        "bench",
+        help="run the traced perf grid / compare or validate bench files",
+    )
+    p.add_argument("--out", default="BENCH_gmres.json",
+                   help="output path for the bench document")
+    p.add_argument("--matrices", nargs="*", default=None,
+                   help="suite matrices (default: atmosmodd cfd2 lung2)")
+    p.add_argument("--storages", nargs="*", default=None,
+                   help="storage formats (default: float64 float32 frsz2_32)")
+    p.add_argument("--scale", default="smoke",
+                   choices=["smoke", "default", "paper"])
+    p.add_argument("--restart", type=int, default=50)
+    p.add_argument("--max-iter", type=int, default=2000)
+    p.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"), default=None,
+                   help="diff two bench files; exit 1 on regressions")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="relative regression tolerance for --compare")
+    p.add_argument("--check", default=None, metavar="FILE",
+                   help="validate an existing bench file against the schema")
+
     return parser
 
 
@@ -271,6 +374,7 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "predict": _cmd_predict,
     "faults": _cmd_faults,
+    "bench": _cmd_bench,
 }
 
 

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..observe import NULL_TRACER
+
 __all__ = ["TrafficCounter", "VectorAccessor"]
 
 
@@ -66,6 +68,7 @@ class VectorAccessor(abc.ABC):
             raise ValueError("vector length must be non-negative")
         self.n = int(n)
         self.traffic = TrafficCounter()
+        self.tracer = NULL_TRACER
 
     # -- storage interface -------------------------------------------------
 
@@ -96,13 +99,25 @@ class VectorAccessor(abc.ABC):
             )
         return values
 
+    def set_tracer(self, tracer) -> None:
+        """Attach an observe-layer tracer (subclasses forward as needed)."""
+        self.tracer = tracer
+
     def _record_write(self) -> None:
-        self.traffic.bytes_written += self.stored_nbytes()
+        nbytes = self.stored_nbytes()
+        self.traffic.bytes_written += nbytes
         self.traffic.writes += 1
+        if self.tracer.enabled:
+            self.tracer.count("accessor.writes")
+            self.tracer.count("accessor.bytes_written", nbytes)
 
     def _record_read(self) -> None:
-        self.traffic.bytes_read += self.stored_nbytes()
+        nbytes = self.stored_nbytes()
+        self.traffic.bytes_read += nbytes
         self.traffic.reads += 1
+        if self.tracer.enabled:
+            self.tracer.count("accessor.reads")
+            self.tracer.count("accessor.bytes_read", nbytes)
 
     def __len__(self) -> int:
         return self.n

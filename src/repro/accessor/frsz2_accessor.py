@@ -40,6 +40,11 @@ class Frsz2Accessor(VectorAccessor):
         self.name = f"frsz2_{bit_length}"
         self._compressed: Optional[Frsz2Compressed] = None
 
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to the accessor *and* its codec."""
+        super().set_tracer(tracer)
+        self.codec.tracer = tracer
+
     def write(self, values: np.ndarray) -> None:
         values = self._check_write(values)
         self._compressed = self.codec.compress(values)

@@ -1,6 +1,21 @@
 """Benchmark harness: experiment drivers and plain-text report rendering
-for every table and figure of the paper's evaluation section."""
+for every table and figure of the paper's evaluation section, plus the
+traced performance bench behind ``python -m repro bench``."""
 
+from .perf import (
+    BENCH_PHASES,
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_BENCH_MATRICES,
+    DEFAULT_BENCH_STORAGES,
+    Regression,
+    compare_bench,
+    load_bench,
+    run_bench,
+    run_bench_entry,
+    validate_bench,
+    write_bench,
+)
 from .experiments import (
     FIG7_FORMATS,
     convergence_histories,
@@ -18,6 +33,18 @@ from .experiments import (
 from .report import format_histogram, format_series, format_table
 
 __all__ = [
+    "BENCH_PHASES",
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BENCH_MATRICES",
+    "DEFAULT_BENCH_STORAGES",
+    "Regression",
+    "compare_bench",
+    "load_bench",
+    "run_bench",
+    "run_bench_entry",
+    "validate_bench",
+    "write_bench",
     "FIG7_FORMATS",
     "convergence_histories",
     "figure7_rows",

@@ -1,0 +1,343 @@
+"""Solver-wide performance bench: ``python -m repro bench``.
+
+Replays a fixed matrix × storage-format grid through the traced
+CB-GMRES solver and merges two views of every solve:
+
+* **observed** — wall-clock spans from a :class:`repro.observe.Tracer`
+  threaded through the solver, basis, accessors, codec and SpMV;
+* **modeled** — the GPU timing model's predicted per-kernel seconds
+  (:meth:`repro.gpu.timing.GmresTimingModel.phase_times`), the quantity
+  the paper's Fig. 11 argues about.
+
+The merged per-phase attribution (``spmv`` / ``orthogonalize`` /
+``basis_read`` / ``basis_write`` / ``update`` / ``other``) is emitted as
+a schema-versioned ``BENCH_gmres.json`` so successive commits leave a
+comparable perf trajectory; ``compare_bench`` diffs two such files and
+flags regressions beyond a tolerance (convergence lost, iteration-count
+or modeled-time growth).  Wall-clock seconds are recorded but never
+compared — they depend on the host — while iteration counts and modeled
+times are deterministic for a fixed grid.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..gpu.device import DeviceSpec, H100_PCIE
+from ..gpu.timing import GmresTimingModel
+from ..observe import Tracer
+from ..solvers.gmres import CbGmres
+from ..solvers.problems import make_problem
+from ..sparse.suite import resolve_scale, suite_names
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_PHASES",
+    "DEFAULT_BENCH_STORAGES",
+    "DEFAULT_BENCH_MATRICES",
+    "Regression",
+    "run_bench_entry",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+    "load_bench",
+    "compare_bench",
+]
+
+#: schema identifier embedded in every bench file
+BENCH_SCHEMA = "repro.bench.gmres"
+#: bump on any incompatible change to the document layout
+BENCH_SCHEMA_VERSION = 1
+#: per-phase attribution keys (observe span names + the remainder)
+BENCH_PHASES = (
+    "spmv",
+    "orthogonalize",
+    "basis_read",
+    "basis_write",
+    "update",
+    "other",
+)
+#: the storage grid the perf trajectory tracks (acceptance floor)
+DEFAULT_BENCH_STORAGES = ("float64", "float32", "frsz2_32")
+#: small-but-varied default matrix grid (fast at smoke scale)
+DEFAULT_BENCH_MATRICES = ("atmosmodd", "cfd2", "lung2")
+
+_ENTRY_SCALARS = {
+    "matrix": str,
+    "storage": str,
+    "n": int,
+    "nnz": int,
+    "converged": bool,
+    "iterations": int,
+    "restarts": int,
+    "reorthogonalizations": int,
+    "final_rrn": float,
+    "target_rrn": float,
+    "bits_per_value": float,
+    "wall_seconds": float,
+    "modeled_seconds": float,
+}
+
+
+def run_bench_entry(
+    matrix: str,
+    storage: str,
+    scale: str = "smoke",
+    m: int = 50,
+    max_iter: int = 2000,
+    target_rrn: Optional[float] = None,
+    device: DeviceSpec = H100_PCIE,
+) -> dict:
+    """Run one traced solve and return its bench entry."""
+    problem = make_problem(matrix, scale, target_rrn=target_rrn)
+    tracer = Tracer()
+    problem.a.tracer = tracer
+    solver = CbGmres(problem.a, storage, m=m, max_iter=max_iter, tracer=tracer)
+    t0 = time.perf_counter()
+    result = solver.solve(problem.b, problem.target_rrn)
+    wall_total = time.perf_counter() - t0
+
+    # observed wall seconds per phase; orthogonalize/update report time
+    # *exclusive* of the basis reads nested inside them, so the six
+    # phases partition the solve without double counting
+    wall = {
+        "spmv": tracer.total_seconds("spmv"),
+        "basis_read": tracer.total_seconds("basis_read"),
+        "basis_write": tracer.total_seconds("basis_write"),
+        "orthogonalize": tracer.total_seconds("orthogonalize")
+        - tracer.total_seconds("basis_read", under="orthogonalize"),
+        "update": tracer.total_seconds("update")
+        - tracer.total_seconds("basis_read", under="update"),
+    }
+    wall["other"] = max(wall_total - sum(wall.values()), 0.0)
+
+    modeled = GmresTimingModel(device).phase_times(result.stats, storage)
+
+    return {
+        "matrix": matrix,
+        "storage": storage,
+        "n": int(result.stats.n),
+        "nnz": int(result.stats.nnz),
+        "converged": bool(result.converged),
+        "iterations": int(result.iterations),
+        "restarts": int(result.stats.restarts),
+        "reorthogonalizations": int(result.stats.reorthogonalizations),
+        "final_rrn": float(result.final_rrn),
+        "target_rrn": float(result.target_rrn),
+        "bits_per_value": float(result.stats.bits_per_value),
+        "wall_seconds": float(wall_total),
+        "modeled_seconds": float(sum(modeled.values())),
+        "phases": {
+            phase: {
+                "wall_seconds": float(wall[phase]),
+                "modeled_seconds": float(modeled[phase]),
+            }
+            for phase in BENCH_PHASES
+        },
+        "counters": {
+            str(k): (float(v) if isinstance(v, float) else int(v))
+            for k, v in sorted(tracer.counters.items())
+        },
+    }
+
+
+def run_bench(
+    matrices: Optional[Sequence[str]] = None,
+    storages: Optional[Sequence[str]] = None,
+    scale: Optional[str] = "smoke",
+    m: int = 50,
+    max_iter: int = 2000,
+    target_rrn: Optional[float] = None,
+    device: DeviceSpec = H100_PCIE,
+) -> dict:
+    """Run the full grid and return the schema-versioned bench document."""
+    scale = resolve_scale(scale)
+    matrices = list(matrices) if matrices else list(DEFAULT_BENCH_MATRICES)
+    storages = list(storages) if storages else list(DEFAULT_BENCH_STORAGES)
+    unknown = [name for name in matrices if name not in suite_names()]
+    if unknown:
+        raise KeyError(
+            f"unknown matrices {unknown}; suite: {', '.join(suite_names())}"
+        )
+    entries = [
+        run_bench_entry(
+            matrix, storage, scale, m=m, max_iter=max_iter,
+            target_rrn=target_rrn, device=device,
+        )
+        for matrix in matrices
+        for storage in storages
+    ]
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "device": device.name,
+        "scale": scale,
+        "restart": int(m),
+        "max_iter": int(max_iter),
+        "matrices": matrices,
+        "storages": storages,
+        "entries": entries,
+    }
+
+
+# ----------------------------------------------------------------------
+# schema validation
+# ----------------------------------------------------------------------
+
+
+def _expect(cond: bool, where: str, message: str) -> None:
+    if not cond:
+        raise ValueError(f"bench schema violation at {where}: {message}")
+
+
+def _expect_number(value: object, where: str) -> None:
+    _expect(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        where,
+        f"expected a number, got {type(value).__name__}",
+    )
+    _expect(value == value and value not in (float("inf"), float("-inf")),
+            where, "number must be finite")
+
+
+def validate_bench(doc: dict) -> None:
+    """Validate a bench document; raises ``ValueError`` naming the field."""
+    _expect(isinstance(doc, dict), "$", "document must be an object")
+    _expect(doc.get("schema") == BENCH_SCHEMA, "$.schema",
+            f"expected {BENCH_SCHEMA!r}, got {doc.get('schema')!r}")
+    _expect(doc.get("schema_version") == BENCH_SCHEMA_VERSION,
+            "$.schema_version",
+            f"expected {BENCH_SCHEMA_VERSION}, got {doc.get('schema_version')!r}")
+    for key in ("created", "device", "scale"):
+        _expect(isinstance(doc.get(key), str), f"$.{key}", "expected a string")
+    for key in ("restart", "max_iter"):
+        _expect(isinstance(doc.get(key), int) and doc[key] > 0,
+                f"$.{key}", "expected a positive integer")
+    for key in ("matrices", "storages"):
+        _expect(
+            isinstance(doc.get(key), list) and doc[key]
+            and all(isinstance(v, str) for v in doc[key]),
+            f"$.{key}", "expected a non-empty list of strings",
+        )
+    entries = doc.get("entries")
+    _expect(isinstance(entries, list) and entries, "$.entries",
+            "expected a non-empty list")
+    for i, entry in enumerate(entries):
+        where = f"$.entries[{i}]"
+        _expect(isinstance(entry, dict), where, "expected an object")
+        for key, typ in _ENTRY_SCALARS.items():
+            _expect(key in entry, f"{where}.{key}", "missing required field")
+            if typ is float:
+                _expect_number(entry[key], f"{where}.{key}")
+            elif typ is int:
+                _expect(
+                    isinstance(entry[key], int)
+                    and not isinstance(entry[key], bool),
+                    f"{where}.{key}", "expected an integer",
+                )
+            elif typ is bool:
+                _expect(isinstance(entry[key], bool), f"{where}.{key}",
+                        "expected a boolean")
+            else:
+                _expect(isinstance(entry[key], str), f"{where}.{key}",
+                        "expected a string")
+        phases = entry.get("phases")
+        _expect(isinstance(phases, dict), f"{where}.phases",
+                "expected an object")
+        _expect(set(phases) == set(BENCH_PHASES), f"{where}.phases",
+                f"expected exactly the phases {sorted(BENCH_PHASES)}, "
+                f"got {sorted(phases)}")
+        for phase, cell in phases.items():
+            pwhere = f"{where}.phases.{phase}"
+            _expect(isinstance(cell, dict), pwhere, "expected an object")
+            _expect(set(cell) == {"wall_seconds", "modeled_seconds"}, pwhere,
+                    "expected wall_seconds and modeled_seconds")
+            _expect_number(cell["wall_seconds"], f"{pwhere}.wall_seconds")
+            _expect_number(cell["modeled_seconds"], f"{pwhere}.modeled_seconds")
+        counters = entry.get("counters")
+        _expect(isinstance(counters, dict), f"{where}.counters",
+                "expected an object")
+        for name, value in counters.items():
+            _expect_number(value, f"{where}.counters.{name}")
+
+
+# ----------------------------------------------------------------------
+# persistence + comparison
+# ----------------------------------------------------------------------
+
+
+def write_bench(doc: dict, path: str) -> None:
+    """Validate then write a bench document as pretty-printed JSON."""
+    validate_bench(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> dict:
+    """Read and validate a bench document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_bench(doc)
+    return doc
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One flagged difference between two bench files."""
+
+    matrix: str
+    storage: str
+    metric: str
+    base: float
+    new: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.matrix}/{self.storage}: {self.metric} regressed "
+            f"{self.base:.6g} -> {self.new:.6g}"
+        )
+
+
+def compare_bench(
+    base: dict, new: dict, tolerance: float = 0.05
+) -> List[Regression]:
+    """Diff two bench documents; return the regressions beyond tolerance.
+
+    Only deterministic metrics are compared: lost convergence, iteration
+    count and modeled seconds growing by more than ``tolerance``
+    (relative), and grid entries that disappeared.  Host-dependent
+    wall-clock numbers are deliberately ignored.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    validate_bench(base)
+    validate_bench(new)
+    new_by_key: Dict[tuple, dict] = {
+        (e["matrix"], e["storage"]): e for e in new["entries"]
+    }
+    regressions: List[Regression] = []
+    for old in base["entries"]:
+        key = (old["matrix"], old["storage"])
+        entry = new_by_key.get(key)
+        if entry is None:
+            regressions.append(
+                Regression(key[0], key[1], "coverage (entry missing)", 1.0, 0.0)
+            )
+            continue
+        if old["converged"] and not entry["converged"]:
+            regressions.append(
+                Regression(key[0], key[1], "converged", 1.0, 0.0)
+            )
+        for metric in ("iterations", "modeled_seconds"):
+            before, after = float(old[metric]), float(entry[metric])
+            if after > before * (1.0 + tolerance):
+                regressions.append(
+                    Regression(key[0], key[1], metric, before, after)
+                )
+    return regressions

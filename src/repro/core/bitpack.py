@@ -33,6 +33,18 @@ __all__ = [
 _U32_MASK = np.uint64(0xFFFFFFFF)
 
 
+def _check_bounds(bitpos: np.ndarray, widths: np.ndarray, nwords: int) -> None:
+    """Reject fields outside ``[0, nwords * 32)``, naming the offender."""
+    stream_bits = nwords * 32
+    bad = (bitpos < 0) | (bitpos + widths > stream_bits)
+    if np.any(bad):
+        i = int(np.argmax(bad))
+        raise ValueError(
+            f"field of width {int(widths[i])} at bit position {int(bitpos[i])} "
+            f"falls outside the {stream_bits}-bit stream ({nwords} words)"
+        )
+
+
 def words_needed(total_bits: int) -> int:
     """Number of 32-bit words required to hold ``total_bits`` bits."""
     if total_bits < 0:
@@ -99,10 +111,7 @@ def pack_at(words: np.ndarray, bitpos: np.ndarray, fields: np.ndarray, widths) -
         raise ValueError("widths must be in [1, 64]")
     if np.any(fields & ~_field_mask(widths)):
         raise ValueError("field value exceeds its declared width")
-    end = int(bitpos[-1] + widths[-1]) if bitpos.size else 0
-    if np.any(bitpos < 0) or (bitpos + widths).max() > words.size * 32:
-        raise ValueError("field extends past the end of the word stream")
-    del end
+    _check_bounds(bitpos, widths, words.size)
     # Low chunk: up to 32 bits.
     lo_bits = np.minimum(widths, 32)
     _scatter_chunks(words, bitpos, fields, lo_bits)
@@ -137,8 +146,7 @@ def unpack_at(words: np.ndarray, bitpos: np.ndarray, widths) -> np.ndarray:
         return np.zeros(0, dtype=np.uint64)
     if np.any(widths < 1) or np.any(widths > 64):
         raise ValueError("widths must be in [1, 64]")
-    if np.any(bitpos < 0) or (bitpos + widths).max() > words.size * 32:
-        raise ValueError("field extends past the end of the word stream")
+    _check_bounds(bitpos, widths, words.size)
     lo_bits = np.minimum(widths, 32)
     out = _gather_chunks(words, bitpos, lo_bits)
     hi_bits = widths - lo_bits

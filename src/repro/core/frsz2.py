@@ -30,6 +30,7 @@ import numpy as np
 
 from . import bitpack, ieee754
 from .blocks import DEFAULT_BLOCK_SIZE, BlockLayout
+from ..observe import NULL_TRACER
 
 __all__ = ["FRSZ2", "Frsz2Compressed"]
 
@@ -104,6 +105,8 @@ class FRSZ2:
         self.bit_length = int(bit_length)
         self.block_size = int(block_size)
         self.rounding = bool(rounding)
+        #: observe-layer tracer; the null tracer keeps the hot path free
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # compression (paper Section IV-A)
@@ -140,9 +143,18 @@ class FRSZ2:
         k = e_max_per_value - e_eff
         shift = np.int64(54 - l) + k.astype(np.int64)
         if self.rounding:
+            # Round to nearest: add half of the last kept bit before the
+            # truncating down-shift.  The addend must be exactly 0 once
+            # the value truncates away entirely (shift > 54: sig53 has
+            # only 53 bits, so even the rounded result is 0).  The clip
+            # also keeps the shift itself in [0, 63]: np.where evaluates
+            # both branches, and a uint64 shift by >= 64 is undefined —
+            # on x86 it wraps to ``shift % 64``, which resurrected
+            # fully-truncated values as garbage significands.
+            half_bit = np.clip(shift - 1, 0, 63).astype(np.uint64)
             rnd = np.where(
-                shift > 0,
-                _U64(1) << np.maximum(shift - 1, 0).astype(np.uint64),
+                (shift > 0) & (shift <= 54),
+                _U64(1) << half_bit,
                 _U64(0),
             )
             base = sig53 + rnd
@@ -178,6 +190,11 @@ class FRSZ2:
             payload = np.zeros(layout.value_words, dtype=np.uint32)
             bitpos = self._bit_positions(np.arange(x.size, dtype=np.int64), layout)
             bitpack.pack_at(payload, bitpos, fields, l)
+        if self.tracer.enabled:
+            self.tracer.count("frsz2.compress.calls")
+            self.tracer.count("frsz2.compress.values", x.size)
+            self.tracer.count("frsz2.compress.bytes", layout.total_nbytes)
+            self.tracer.count("frsz2.compress.blocks", layout.num_blocks)
         return Frsz2Compressed(layout=layout, exponents=exponents, payload=payload)
 
     # ------------------------------------------------------------------
@@ -237,6 +254,11 @@ class FRSZ2:
             comp.exponents.astype(np.int64), comp.layout.block_size
         )[:n]
         values = self._decode_fields(fields, e_max)
+        if self.tracer.enabled:
+            self.tracer.count("frsz2.decompress.calls")
+            self.tracer.count("frsz2.decompress.values", n)
+            self.tracer.count("frsz2.decompress.bytes", comp.layout.total_nbytes)
+            self.tracer.count("frsz2.decompress.blocks", comp.layout.num_blocks)
         if out is not None:
             if out.shape != (n,) or out.dtype != np.float64:
                 raise ValueError("out must be a float64 array of matching size")
@@ -257,6 +279,15 @@ class FRSZ2:
         fields = self._read_fields(comp, idx)
         e_max = comp.exponents.astype(np.int64)[idx // comp.layout.block_size]
         values = self._decode_fields(fields, e_max)
+        if self.tracer.enabled:
+            layout = comp.layout
+            blocks_touched = int(np.unique(idx // layout.block_size).size)
+            # per-block stored bytes: value words + one int32 exponent
+            block_nbytes = layout.words_per_block * 4 + 4
+            self.tracer.count("frsz2.get.calls")
+            self.tracer.count("frsz2.get.values", idx.size)
+            self.tracer.count("frsz2.get.blocks", blocks_touched)
+            self.tracer.count("frsz2.get.bytes", blocks_touched * block_nbytes)
         return values[0] if scalar else values
 
     def decompress_block(self, comp: Frsz2Compressed, block: int) -> np.ndarray:

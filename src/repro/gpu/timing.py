@@ -108,6 +108,33 @@ class GmresTimingModel:
             vector_ops_seconds=stats.dense_vector_ops * self.dense_vector_cost(n).time_on(d),
         )
 
+    def phase_times(self, stats: "SolveStats", storage: str) -> Dict[str, float]:
+        """Predicted seconds per solver phase, keyed by the observe-layer
+        span names (``spmv`` / ``orthogonalize`` / ``basis_read`` /
+        ``basis_write`` / ``update`` / ``other``).
+
+        The dense-vector-op budget of :meth:`time_stats` is apportioned
+        by where the work log accrued it: 4 ops per Arnoldi step belong
+        to the orthogonalization, 1 per restart to the solution update,
+        and the remainder (the explicit-residual recomputations) to
+        ``other``.
+        """
+        t = self.time_stats(stats, self._model_storage_name(storage))
+        vec = self.dense_vector_cost(stats.n).time_on(self.device)
+        ortho_vec = 4 * stats.iterations * vec
+        update_vec = stats.restarts * vec
+        residual_vec = max(
+            t.vector_ops_seconds - ortho_vec - update_vec, 0.0
+        )
+        return {
+            "spmv": t.spmv_seconds,
+            "orthogonalize": ortho_vec,
+            "basis_read": t.basis_read_seconds,
+            "basis_write": t.basis_write_seconds,
+            "update": update_vec,
+            "other": residual_vec,
+        }
+
     def time_result(self, result: "GmresResult") -> SolveTiming:
         """Predicted runtime for a finished :class:`GmresResult`."""
         storage = self._model_storage_name(result.storage)

@@ -1,0 +1,14 @@
+"""repro.observe — structured tracing and metrics for the hot paths.
+
+A :class:`Tracer` collects nested wall-clock spans and named counters
+from every instrumented layer (CB-GMRES solver, Krylov basis, accessors,
+FRSZ2 codec, CSR SpMV).  The default everywhere is the zero-overhead
+:data:`NULL_TRACER`, so un-instrumented use is unchanged.  The benchmark
+runner (``python -m repro bench``) wires one tracer through a whole
+solve and merges the observed spans with the GPU timing model's
+predicted per-kernel times into a per-phase attribution report.
+"""
+
+from .tracer import NULL_TRACER, NullTracer, PhaseTotal, SpanRecord, Tracer
+
+__all__ = ["NULL_TRACER", "NullTracer", "PhaseTotal", "SpanRecord", "Tracer"]

@@ -20,6 +20,7 @@ from typing import Callable, List
 import numpy as np
 
 from ..accessor import VectorAccessor, make_accessor
+from ..observe import NULL_TRACER
 
 __all__ = ["KrylovBasis"]
 
@@ -33,14 +34,19 @@ class KrylovBasis:
         m: int,
         storage: str = "float64",
         accessor_factory: "Callable[[int], VectorAccessor] | None" = None,
+        tracer=None,
     ) -> None:
         if m < 1:
             raise ValueError("restart length m must be positive")
         self.n = int(n)
         self.m = int(m)
         self.storage = storage
+        self.tracer = tracer or NULL_TRACER
         factory = accessor_factory or (lambda size: make_accessor(storage, size))
         self.accessors: List[VectorAccessor] = [factory(n) for _ in range(m + 1)]
+        if self.tracer.enabled:
+            for acc in self.accessors:
+                acc.set_tracer(self.tracer)
         # decompressed view of every written vector (column j = V[:, j])
         self._cache = np.zeros((n, m + 1), order="F")
         self._written = 0
@@ -60,8 +66,11 @@ class KrylovBasis:
         if not 0 <= j <= self.m:
             raise IndexError(f"basis slot {j} out of range [0, {self.m}]")
         acc = self.accessors[j]
-        acc.write(v)
-        self._cache[:, j] = acc.read()
+        with self.tracer.span("basis_write", slot=j):
+            acc.write(v)
+            # refreshing the lossy cache decompresses the vector we just
+            # wrote; it is part of the write, not a stored-basis read
+            self._cache[:, j] = acc.read()
         self._written = max(self._written, j + 1)
 
     def vector(self, j: int) -> np.ndarray:
@@ -78,11 +87,21 @@ class KrylovBasis:
 
     def dot_basis(self, j: int, w: np.ndarray) -> np.ndarray:
         """``V_j^T w`` — the orthogonalization read of Fig. 1 step 4."""
-        return self.matrix(j).T @ w
+        with self.tracer.span("basis_read", vectors=j):
+            self._count_read(j)
+            return self.matrix(j).T @ w
 
     def combine(self, j: int, y: np.ndarray) -> np.ndarray:
         """``V_j y`` — the solution-update read of Fig. 1 step 18."""
-        return self.matrix(j) @ y
+        with self.tracer.span("basis_read", vectors=j):
+            self._count_read(j)
+            return self.matrix(j) @ y
+
+    def _count_read(self, j: int) -> None:
+        """Tally the stored bytes a GPU kernel would stream for ``V_j``."""
+        if self.tracer.enabled and j > 0:
+            self.tracer.count("basis.vector_reads", j)
+            self.tracer.count("basis.bytes_read", j * self.stored_vector_nbytes)
 
     def reset(self) -> None:
         """Forget all vectors (used at restart)."""

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..accessor import VectorAccessor
+from ..observe import NULL_TRACER
 from ..sparse.csr import CSRMatrix
 from .basis import KrylovBasis
 from .hessenberg import GivensLeastSquares
@@ -178,6 +179,14 @@ class CbGmres:
         crashing or silently diverging.  Each such event is a
         *recovery*, logged in ``SolveStats.recoveries`` and
         ``GmresResult.breakdown_events``.
+    tracer:
+        Optional :class:`repro.observe.Tracer`.  When given, the solve
+        emits nested wall-clock spans (``restart`` / ``arnoldi`` /
+        ``spmv`` / ``orthogonalize`` / ``basis_read`` / ``basis_write``
+        / ``update``) and counters through every instrumented layer
+        (basis, accessors, FRSZ2 codec).  The default null tracer is a
+        set of no-ops: results are bit-identical either way, since
+        tracing never touches the numerics.
     max_recoveries:
         Bound on *consecutive fruitless* recoveries: the counter grows
         with every recovery and resets whenever the explicit residual
@@ -202,6 +211,7 @@ class CbGmres:
         orthogonalization: str = "cgs",
         recovery: bool = True,
         max_recoveries: int = DEFAULT_MAX_RECOVERIES,
+        tracer=None,
     ) -> None:
         if a.shape[0] != a.shape[1]:
             raise ValueError("GMRES requires a square matrix")
@@ -223,6 +233,7 @@ class CbGmres:
         if max_recoveries < 0:
             raise ValueError("max_recoveries must be non-negative")
         self.max_recoveries = int(max_recoveries)
+        self.tracer = tracer or NULL_TRACER
 
     def solve(
         self,
@@ -253,7 +264,8 @@ class CbGmres:
         bnorm = float(np.linalg.norm(b))
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
-        basis = KrylovBasis(n, self.m, self.storage, self._factory)
+        tracer = self.tracer
+        basis = KrylovBasis(n, self.m, self.storage, self._factory, tracer=tracer)
         stats = SolveStats(
             n=n, nnz=a.nnz, bits_per_value=basis.bits_per_value
         )
@@ -289,8 +301,11 @@ class CbGmres:
             return fruitless <= self.max_recoveries
 
         while True:
+          with tracer.span("restart", index=stats.restarts):
             # -- (re)start: explicit residual ---------------------------
-            r = b - a.matvec(x)
+            with tracer.span("spmv"):
+                ax = a.matvec(x)
+            r = b - ax
             stats.spmv_calls += 1
             stats.dense_vector_ops += 2
             beta = float(np.linalg.norm(r))
@@ -331,6 +346,7 @@ class CbGmres:
             j_used = 0
             poison: Optional[BreakdownEvent] = None
             for j in range(1, self.m + 1):
+              with tracer.span("arnoldi", j=j):
                 # Fig. 1 step 2: w := A (M^-1 v); the newest vector stays
                 # in double precision
                 if prec.is_identity:
@@ -338,12 +354,14 @@ class CbGmres:
                 else:
                     z = prec.apply(v)
                     stats.preconditioner_applies += 1
-                w = a.matvec(z)
+                with tracer.span("spmv"):
+                    w = a.matvec(z)
                 stats.spmv_calls += 1
                 if self.recovery and not np.all(np.isfinite(w)):
                     poison = BreakdownEvent(total_iters, "nonfinite_spmv")
                     break
-                ores = orthogonalize(basis, j, w, self.eta)
+                with tracer.span("orthogonalize"):
+                    ores = orthogonalize(basis, j, w, self.eta)
                 stats.basis_reads += 2 * j if ores.reorthogonalized else j
                 stats.reorthogonalizations += int(ores.reorthogonalized)
                 stats.dense_vector_ops += 4
@@ -396,8 +414,9 @@ class CbGmres:
 
             # -- solution update ----------------------------------------
             # Fig. 1 step 18: x := x0 + M^-1 (V_m y)
-            y = lsq.solve()
-            update = basis.combine(j_used, y)
+            with tracer.span("update", columns=j_used):
+                y = lsq.solve()
+                update = basis.combine(j_used, y)
             if not prec.is_identity:
                 update = prec.apply(update)
                 stats.preconditioner_applies += 1
@@ -412,7 +431,9 @@ class CbGmres:
             stats.dense_vector_ops += 1
             stats.restarts += 1
 
-        final_rrn = float(np.linalg.norm(b - a.matvec(x)) / bnorm)
+        with tracer.span("spmv"):
+            final_ax = a.matvec(x)
+        final_rrn = float(np.linalg.norm(b - final_ax) / bnorm)
         stats.spmv_calls += 1
         if self.recovery and not np.isfinite(final_rrn):
             # the verification SpMV itself was hit; x is finite, so report

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..observe import NULL_TRACER
+
 __all__ = ["CSRMatrix", "SpmvCounter"]
 
 
@@ -61,6 +63,8 @@ class CSRMatrix:
         # expanded row index per stored entry: makes SpMV a bincount
         self._rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(self.indptr))
         self.counter = SpmvCounter()
+        #: observe-layer tracer; the null tracer keeps matvec overhead-free
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
 
@@ -78,8 +82,9 @@ class CSRMatrix:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.shape[1],):
             raise ValueError(f"expected x of shape ({self.shape[1]},)")
-        prod = self.data * x[self.indices]
-        y = np.bincount(self._rows, weights=prod, minlength=self.shape[0])
+        with self.tracer.span("csr.matvec"):
+            prod = self.data * x[self.indices]
+            y = np.bincount(self._rows, weights=prod, minlength=self.shape[0])
         self._count_spmv()
         if out is not None:
             out[:] = y
@@ -104,6 +109,14 @@ class CSRMatrix:
         # standard pessimistic CSR model
         c.bytes_moved += self.nnz * (8 + 4) + (self.shape[0] + 1) * 4
         c.bytes_moved += self.nnz * 8 + self.shape[0] * 8
+        if self.tracer.enabled:
+            self.tracer.count("spmv.calls")
+            self.tracer.count("spmv.flops", 2 * self.nnz)
+            self.tracer.count(
+                "spmv.bytes",
+                self.nnz * (8 + 4) + (self.shape[0] + 1) * 4
+                + self.nnz * 8 + self.shape[0] * 8,
+            )
 
     # ------------------------------------------------------------------
 

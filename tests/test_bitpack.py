@@ -158,3 +158,85 @@ class TestPackProperty:
         for i, w in enumerate(words.tolist()):
             got |= w << (32 * i)
         assert got == model
+
+
+class TestBoundsErrorReporting:
+    """The out-of-range ValueError must name the offending field.
+
+    These also pin down the removal of the dead ``end = bitpos[-1] +
+    widths[-1]`` fragment: the real bounds check must consider *every*
+    field, not assume the last array element is the highest position.
+    """
+
+    def test_pack_past_end_names_position_and_stream(self):
+        words = np.zeros(2, dtype=np.uint32)  # 64-bit stream
+        with pytest.raises(ValueError, match=r"width 21 at bit position 50.*64-bit stream.*2 words"):
+            bitpack.pack_at(words, np.array([50]), np.array([0], dtype=np.uint64), 21)
+
+    def test_pack_negative_position_names_position(self):
+        words = np.zeros(2, dtype=np.uint32)
+        with pytest.raises(ValueError, match=r"bit position -7"):
+            bitpack.pack_at(words, np.array([-7]), np.array([0], dtype=np.uint64), 8)
+
+    def test_pack_offender_not_in_last_place(self):
+        # the overflowing field sits first; a "check only bitpos[-1]"
+        # shortcut would miss it
+        words = np.zeros(2, dtype=np.uint32)
+        bitpos = np.array([60, 0])
+        fields = np.zeros(2, dtype=np.uint64)
+        with pytest.raises(ValueError, match=r"bit position 60"):
+            bitpack.pack_at(words, bitpos, fields, 21)
+
+    def test_unpack_past_end_names_position_and_stream(self):
+        words = np.zeros(3, dtype=np.uint32)  # 96-bit stream
+        with pytest.raises(ValueError, match=r"width 33 at bit position 64.*96-bit stream"):
+            bitpack.unpack_at(words, np.array([64]), 33)
+
+    def test_unpack_negative_position_raises_not_wraps(self):
+        words = np.arange(4, dtype=np.uint32)
+        with pytest.raises(ValueError, match=r"bit position -1"):
+            bitpack.unpack_at(words, np.array([-1]), 8)
+
+
+class TestStraddleClampEdge:
+    """The straddle read clamps its second-word index at the stream end;
+    a field ending *exactly* at the last word with a nonzero bit offset
+    must still round-trip (the shifted-in bits are masked off)."""
+
+    @pytest.mark.parametrize("width", [5, 21, 31, 33, 47, 63])
+    def test_field_ending_exactly_at_stream_end(self, width):
+        nwords = 4  # 128-bit stream
+        bitpos = np.array([nwords * 32 - width])
+        assert bitpos[0] % 32 != 0  # genuinely offset into the last words
+        rng = np.random.default_rng(width)
+        value = rng.integers(0, 1 << min(width, 63), 1, dtype=np.uint64) | (
+            np.uint64(1) << np.uint64(width - 1)  # force the top bit live
+        )
+        words = np.zeros(nwords, dtype=np.uint32)
+        bitpack.pack_at(words, bitpos, value, width)
+        assert np.array_equal(bitpack.unpack_at(words, bitpos, width), value)
+
+    def test_full_stream_of_straddling_fields_with_tail_at_end(self):
+        # 21-bit fields densely packed so the final field ends at bit 672
+        # (= 21 words exactly): the last read clamps but stays correct
+        width, n = 21, 32
+        fields = (np.arange(n, dtype=np.uint64) * 77773) & ((1 << width) - 1)
+        words = bitpack.pack_fields(fields, width)
+        assert words.size * 32 == n * width  # ends flush with the stream
+        out = bitpack.unpack_fields(words, n, width)
+        assert np.array_equal(out, fields)
+
+    def test_one_past_the_exact_end_raises(self):
+        nwords, width = 4, 21
+        words = np.zeros(nwords, dtype=np.uint32)
+        bitpos = np.array([nwords * 32 - width + 1])
+        with pytest.raises(ValueError):
+            bitpack.unpack_at(words, bitpos, width)
+        with pytest.raises(ValueError):
+            bitpack.pack_at(words, bitpos, np.zeros(1, dtype=np.uint64), width)
+
+    def test_far_past_end_raises_not_wraps(self):
+        words = np.zeros(2, dtype=np.uint32)
+        for pos in (10**6, 2**40):
+            with pytest.raises(ValueError):
+                bitpack.unpack_at(words, np.array([pos]), 8)

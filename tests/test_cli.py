@@ -87,3 +87,69 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "calibration" in out
         assert "atmosmodd" in out
+
+
+class TestBenchCommand:
+    def _run_bench(self, tmp_path, name="base.json"):
+        out = tmp_path / name
+        rc = main([
+            "bench", "--matrices", "lung2", "--storages", "frsz2_32",
+            "--restart", "30", "--max-iter", "500", "--out", str(out),
+        ])
+        return rc, out
+
+    def test_bench_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.out == "BENCH_gmres.json"
+        assert args.scale == "smoke"
+        assert args.tolerance == 0.05
+
+    def test_bench_writes_valid_json(self, tmp_path, capsys):
+        rc, out = self._run_bench(tmp_path)
+        assert rc == 0
+        assert out.exists()
+        assert "lung2" in capsys.readouterr().out
+        assert main(["bench", "--check", str(out)]) == 0
+
+    def test_bench_check_rejects_corrupt_file(self, tmp_path, capsys):
+        rc, out = self._run_bench(tmp_path)
+        assert rc == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        doc["schema_version"] = 999
+        out.write_text(json.dumps(doc))
+        assert main(["bench", "--check", str(out)]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_bench_compare_identical_clean(self, tmp_path, capsys):
+        rc, out = self._run_bench(tmp_path)
+        assert rc == 0
+        assert main(["bench", "--compare", str(out), str(out)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bench_compare_flags_injected_regression(self, tmp_path, capsys):
+        rc, out = self._run_bench(tmp_path)
+        assert rc == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        doc["entries"][0]["iterations"] *= 3
+        doc["entries"][0]["modeled_seconds"] *= 3.0
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(doc))
+        rc = main(["bench", "--compare", str(out), str(worse)])
+        assert rc == 1
+        out_text = capsys.readouterr().out
+        assert "iterations" in out_text
+        assert "modeled_seconds" in out_text
+
+    def test_bench_compare_missing_file(self, tmp_path, capsys):
+        rc, out = self._run_bench(tmp_path)
+        assert rc == 0
+        missing = tmp_path / "nope.json"
+        assert main(["bench", "--compare", str(out), str(missing)]) == 2
+
+    def test_bench_unknown_matrix(self, capsys):
+        assert main(["bench", "--matrices", "not_a_matrix"]) == 2
+        assert "unknown matrices" in capsys.readouterr().err

@@ -341,3 +341,70 @@ class TestBitLengthMonotonicity:
         frsz2_err = np.abs(FRSZ2(32).roundtrip(x) - x)
         f32_err = np.abs(x.astype(np.float32).astype(np.float64) - x)
         assert np.median(frsz2_err) < np.median(f32_err)
+
+
+class TestRoundingShiftClamp:
+    """Regression tests for the rounding addend's shift clamp.
+
+    ``_encode_fields`` used to form the round-to-nearest addend as
+    ``1 << (shift - 1)`` without an upper clamp.  For a value far enough
+    below its block's maximum the shift exceeds the significand width:
+
+    * ``shift == 64``: the addend ``2^63`` is still representable, but
+      the down-shift is clamped to 63, so the addend survived as a
+      spurious significand bit — deterministically wrong on every
+      platform (the value decoded as one grid ulp instead of 0);
+    * ``shift >= 65``: ``shift - 1`` reaches 64, which is undefined for
+      uint64 and wraps to ``shift % 64`` on x86, resurrecting fully
+      truncated values as garbage.
+
+    The fix zeroes the addend once the value truncates away entirely
+    (``shift > 54``; the 53-bit significand cannot round further than
+    one position past its own width).
+    """
+
+    @pytest.mark.parametrize("l", [16, 21, 32])
+    def test_shift_64_flushes_to_zero(self, l):
+        # second value sits exactly shift == 64 below the block max
+        codec = FRSZ2(bit_length=l, rounding=True)
+        x = np.array([1.0, 2.0 ** -(10 + l)])
+        out = codec.roundtrip(x)
+        assert out[0] == 1.0
+        assert out[1] == 0.0
+
+    @pytest.mark.parametrize("l", [16, 21, 32])
+    def test_undefined_shift_region_flushes_to_zero(self, l):
+        # shift - 1 in {64, 127}: the formerly undefined uint64 shifts
+        codec = FRSZ2(bit_length=l, rounding=True)
+        for extra in (11, 74):  # shift = 65 and shift = 128
+            x = np.array([1.0, 2.0 ** -(extra + l)])
+            out = codec.roundtrip(x)
+            assert out[1] == 0.0, f"l={l}, shift={54 + extra + l - 54}"
+
+    @pytest.mark.parametrize("l", [16, 21, 32])
+    def test_extreme_dynamic_range_respects_error_bound(self, l):
+        # one full block spanning ~600 binades, signs mixed, with zeros:
+        # every decoded value must stay within the block's a-priori
+        # truncation bound, and everything below the grid must flush
+        rng = np.random.default_rng(l)
+        exponents = rng.integers(-300, 301, 32)
+        x = rng.choice([-1.0, 1.0], 32) * (1.0 + rng.random(32)) * (
+            2.0 ** exponents.astype(np.float64)
+        )
+        x[::11] = 0.0
+        codec = FRSZ2(bit_length=l, rounding=True)
+        out = codec.roundtrip(x)
+        assert np.all(np.isfinite(out))
+        bound = codec.max_block_error_bound(block_emax(x))
+        assert np.abs(out - x).max() <= bound
+        grid = bound / 2.0  # rounding: anything below half a grid ulp dies
+        assert np.all(out[np.abs(x) < grid * 0.99] == 0.0)
+
+    @pytest.mark.parametrize("l", [16, 21, 32])
+    @given(small_exp=st.integers(min_value=-1074, max_value=-60))
+    @settings(max_examples=40, deadline=None)
+    def test_any_fully_truncated_value_decodes_to_zero(self, l, small_exp):
+        codec = FRSZ2(bit_length=l, rounding=True)
+        x = np.array([1.0, 2.0 ** small_exp])
+        out = codec.roundtrip(x)
+        assert out[1] == 0.0

@@ -197,3 +197,105 @@ class TestSolverInvariants:
         assert lsq.residual_norm == pytest.approx(
             float(np.linalg.norm(rhs - h_full @ y)), abs=1e-9
         )
+
+
+class TestWideStraddleBitpack:
+    """Property coverage for the >32-bit hi-chunk path of pack_at /
+    unpack_at (widths 33..63 decompose into two 32-bit chunks, each of
+    which can itself straddle a word boundary)."""
+
+    @staticmethod
+    def _layout(draw_gaps, width, values):
+        """Bit positions packing ``values`` with per-field gaps."""
+        positions = []
+        pos = 0
+        for gap in draw_gaps:
+            pos += gap
+            positions.append(pos)
+            pos += width
+        return np.array(positions, dtype=np.int64), pos
+
+    @given(
+        width=st.integers(min_value=33, max_value=63),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_wide_widths_at_arbitrary_offsets(self, width, data):
+        from repro.core import bitpack
+
+        n = data.draw(st.integers(min_value=1, max_value=24), label="n")
+        gaps = data.draw(
+            st.lists(st.integers(min_value=0, max_value=37), min_size=n, max_size=n),
+            label="gaps",
+        )
+        fields = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=(1 << width) - 1),
+                    min_size=n,
+                    max_size=n,
+                ),
+                label="fields",
+            ),
+            dtype=np.uint64,
+        )
+        bitpos, total_bits = self._layout(gaps, width, fields)
+        words = np.zeros(bitpack.words_needed(total_bits), dtype=np.uint32)
+        bitpack.pack_at(words, bitpos, fields, width)
+        assert np.array_equal(bitpack.unpack_at(words, bitpos, width), fields)
+
+    @given(width=st.integers(min_value=33, max_value=63))
+    @settings(max_examples=31, deadline=None)
+    def test_all_ones_field_ending_flush_with_stream(self, width):
+        """The worst case for the clamped straddle read: a saturated
+        hi-chunk whose second word is the very last of the stream."""
+        from repro.core import bitpack
+
+        nwords = bitpack.words_needed(width + 13)
+        bitpos = np.array([nwords * 32 - width], dtype=np.int64)
+        fields = np.array([(1 << width) - 1], dtype=np.uint64)
+        words = np.zeros(nwords, dtype=np.uint32)
+        bitpack.pack_at(words, bitpos, fields, width)
+        assert np.array_equal(bitpack.unpack_at(words, bitpos, width), fields)
+
+
+class TestFrsz2RandomAccessLaw:
+    """``FRSZ2.get`` on any index subset must agree exactly with the
+    corresponding slice of a full ``decompress`` — the random-access-by-
+    block property CB-GMRES relies on (paper Section IV-B)."""
+
+    @given(
+        l=st.sampled_from([16, 21, 32, 33, 48]),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_get_matches_decompress_on_random_subsets(self, l, data):
+        n = data.draw(st.integers(min_value=1, max_value=200), label="n")
+        vals = data.draw(
+            st.lists(
+                st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            ),
+            label="vals",
+        )
+        k = data.draw(st.integers(min_value=1, max_value=n), label="k")
+        idx = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=k,
+                    max_size=k,
+                ),
+                label="idx",
+            ),
+            dtype=np.int64,
+        )
+        codec = FRSZ2(bit_length=l)
+        comp = codec.compress(np.array(vals))
+        full = codec.decompress(comp)
+        got = codec.get(comp, idx)
+        # bit-exact, including signed zeros
+        assert np.array_equal(
+            got.view(np.uint64), full[idx].view(np.uint64)
+        )
