@@ -18,12 +18,15 @@ predict MATRIX
     Recommend a basis storage format (the §VIII future-work predictor).
 faults
     Run the seeded fault-injection campaign (fault kind × storage
-    format × rate) and print the survival-rate table.
+    format × rate) and print the survival-rate table.  ``--jobs N``
+    fans the grid over worker processes with identical results.
 bench
     Run the traced matrix × storage performance grid and emit a
     schema-versioned ``BENCH_gmres.json`` (``--compare OLD NEW`` diffs
     two bench files and exits nonzero on regressions; ``--check FILE``
-    validates a file against the schema).
+    validates a file against the schema).  ``--jobs N`` fans the grid
+    over worker processes; deterministic metrics are identical for any
+    job count.
 """
 
 from __future__ import annotations
@@ -186,6 +189,7 @@ def _cmd_predict(args) -> int:
 
 
 def _cmd_faults(args) -> int:
+    from .parallel import WorkerCrashError
     from .robust import DEFAULT_FAULTS, DEFAULT_RATES, DEFAULT_STORAGES, run_campaign
 
     try:
@@ -200,8 +204,9 @@ def _cmd_faults(args) -> int:
             max_iter=args.max_iter,
             hardened=not args.unhardened,
             fallback=not args.no_fallback,
+            jobs=args.jobs,
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, WorkerCrashError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(camp.table())
@@ -212,6 +217,7 @@ def _cmd_faults(args) -> int:
 
 def _cmd_bench(args) -> int:
     from .bench import format_table
+    from .parallel import WorkerCrashError
     from .bench.perf import (
         BENCH_PHASES,
         compare_bench,
@@ -255,8 +261,9 @@ def _cmd_bench(args) -> int:
             scale=args.scale,
             m=args.restart,
             max_iter=args.max_iter,
+            jobs=args.jobs,
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, WorkerCrashError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     write_bench(doc, args.out)
@@ -341,6 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable recovery+fallback (the crash/diverge baseline)")
     p.add_argument("--no-fallback", action="store_true",
                    help="recovery only, no storage-format escalation")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the campaign grid "
+                        "(default 1 = serial; 0 = all cores; results are "
+                        "identical for any value)")
 
     p = sub.add_parser(
         "bench",
@@ -356,6 +367,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["smoke", "default", "paper"])
     p.add_argument("--restart", type=int, default=50)
     p.add_argument("--max-iter", type=int, default=2000)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the bench grid (default 1 = "
+                        "serial; 0 = all cores; deterministic metrics are "
+                        "identical for any value)")
     p.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"), default=None,
                    help="diff two bench files; exit 1 on regressions")
     p.add_argument("--tolerance", type=float, default=0.05,

@@ -2,7 +2,7 @@
 float64 arithmetic format (paper refs [1], [9])."""
 
 from .base import TrafficCounter, VectorAccessor
-from .frsz2_accessor import Frsz2Accessor
+from .frsz2_accessor import DEFAULT_CACHE_BLOCKS, CacheStats, Frsz2Accessor
 from .precision import (
     Float16Accessor,
     Float32Accessor,
@@ -20,6 +20,8 @@ __all__ = [
     "Float32Accessor",
     "Float16Accessor",
     "Frsz2Accessor",
+    "CacheStats",
+    "DEFAULT_CACHE_BLOCKS",
     "RoundTripAccessor",
     "make_accessor",
     "accessor_factory",

@@ -6,26 +6,81 @@ FRSZ2 while computing in double-precision"); compression is invoked on
 the full vector because finding ``e_max`` needs every value of a block
 (Section IV-A: "the compression must be performed on all BS elements
 simultaneously").
+
+On a GPU the decode rides for free inside the memory-bound kernels (the
+"46 spare instructions" budget); in Python it is a real per-read cost.
+The accessor therefore keeps an LRU cache of *decoded* blocks: repeated
+reads of the same block — the Gram-Schmidt access pattern, where every
+stored basis vector is re-read each Arnoldi step — skip the codec
+entirely.  Decoding is deterministic, so cached reads are bit-identical
+to uncached ones (asserted in the test suite); the cache is invalidated
+on every write.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from ..core import FRSZ2, Frsz2Compressed
 from .base import VectorAccessor
 
-__all__ = ["Frsz2Accessor"]
+__all__ = ["CacheStats", "Frsz2Accessor", "DEFAULT_CACHE_BLOCKS"]
+
+#: default decoded-block cache capacity (blocks); 0 disables the cache
+DEFAULT_CACHE_BLOCKS = 256
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction tallies of one accessor's decoded-block cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
 
 
 class Frsz2Accessor(VectorAccessor):
     """Krylov-vector storage in the FRSZ2 format.
 
-    ``bit_length`` / ``block_size`` / ``rounding`` parameterize the codec
-    (paper defaults BS=32, l=32).  ``name`` follows the paper's labels:
-    ``frsz2_32``, ``frsz2_21``, ``frsz2_16``.
+    Parameters
+    ----------
+    n : int
+        Vector length.
+    bit_length : int, default 32
+        ``l``, bits per stored value.  ``name`` follows the paper's
+        labels: ``frsz2_32``, ``frsz2_21``, ``frsz2_16``.
+    block_size : int, default 32
+        ``BS``, values per block (paper default 32 = one GPU warp).
+    rounding : bool, default False
+        Round-to-nearest instead of the paper's truncation (ablation).
+    cache_blocks : int, default DEFAULT_CACHE_BLOCKS
+        Capacity of the decoded-block LRU cache, in blocks.  ``0``
+        disables caching (every read re-decodes, the pre-cache
+        behaviour).  Cached and uncached reads are bit-identical.
+
+    Attributes
+    ----------
+    cache : CacheStats
+        Hit/miss/eviction counters; also mirrored into the attached
+        :mod:`repro.observe` tracer as ``accessor.cache.hits`` /
+        ``.misses`` / ``.evictions``.
     """
 
     def __init__(
@@ -34,39 +89,148 @@ class Frsz2Accessor(VectorAccessor):
         bit_length: int = 32,
         block_size: int = 32,
         rounding: bool = False,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
     ) -> None:
         super().__init__(n)
         self.codec = FRSZ2(bit_length=bit_length, block_size=block_size, rounding=rounding)
         self.name = f"frsz2_{bit_length}"
         self._compressed: Optional[Frsz2Compressed] = None
+        if cache_blocks < 0:
+            raise ValueError("cache_blocks must be non-negative")
+        self.cache_blocks = int(cache_blocks)
+        self.cache = CacheStats()
+        #: block index -> decoded (read-only) float64 block, LRU order
+        self._block_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
 
     def set_tracer(self, tracer) -> None:
         """Attach a tracer to the accessor *and* its codec."""
         super().set_tracer(tracer)
         self.codec.tracer = tracer
 
+    # -- cache plumbing ----------------------------------------------------
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached decoded block.
+
+        Called automatically on :meth:`write`; must be called manually
+        after any out-of-band mutation of :attr:`compressed` (e.g. the
+        fault injectors flipping stored bits), or reads may serve stale
+        pre-mutation data.
+        """
+        if self._block_cache:
+            self._block_cache.clear()
+            self.cache.invalidations += 1
+
+    def _cache_store(self, block: int, values: np.ndarray) -> None:
+        """Insert a decoded block, evicting LRU entries over capacity."""
+        if self.cache_blocks == 0:
+            return
+        values = values.copy()
+        values.flags.writeable = False
+        self._block_cache[block] = values
+        self._block_cache.move_to_end(block)
+        while len(self._block_cache) > self.cache_blocks:
+            self._block_cache.popitem(last=False)
+            self.cache.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.count("accessor.cache.evictions")
+
+    def _cache_lookup(self, block: int) -> Optional[np.ndarray]:
+        """A cached decoded block (refreshing LRU order), or None."""
+        cached = self._block_cache.get(block)
+        if cached is None:
+            self.cache.misses += 1
+            if self.tracer.enabled:
+                self.tracer.count("accessor.cache.misses")
+            return None
+        self._block_cache.move_to_end(block)
+        self.cache.hits += 1
+        if self.tracer.enabled:
+            self.tracer.count("accessor.cache.hits")
+        return cached
+
+    # -- storage interface -------------------------------------------------
+
     def write(self, values: np.ndarray) -> None:
+        """Compress and store the full vector (invalidates the cache)."""
         values = self._check_write(values)
         self._compressed = self.codec.compress(values)
+        self.invalidate_cache()
         self._record_write()
 
     def read(self) -> np.ndarray:
+        """Decompress the full vector.
+
+        Returns
+        -------
+        ndarray, shape (n,), dtype float64
+            Cached blocks are served from the decoded-block cache; the
+            remaining blocks are decoded in one bulk
+            :meth:`~repro.core.frsz2.FRSZ2.decompress_blocks` call and
+            cached.  Bit-identical to a cache-off decompression.
+        """
         if self._compressed is None:
             self._record_read()
             return np.zeros(self.n)
         self._record_read()
-        return self.codec.decompress(self._compressed)
+        comp = self._compressed
+        nb = comp.layout.num_blocks
+        if self.cache_blocks == 0 or nb > self.cache_blocks:
+            # cache off, or the vector cannot fit: a full read would
+            # evict every entry it just inserted (sequential-scan LRU
+            # thrash), so bypass the cache entirely
+            return self.codec.decompress(comp)
+        bs = comp.layout.block_size
+        out = np.empty(self.n, dtype=np.float64)
+        missing: List[int] = []
+        for block in range(nb):
+            cached = self._cache_lookup(block)
+            if cached is None:
+                missing.append(block)
+            else:
+                out[block * bs:block * bs + cached.size] = cached
+        if missing:
+            for block, values in zip(
+                missing, self.codec.decompress_blocks(comp, missing)
+            ):
+                out[block * bs:block * bs + values.size] = values
+                self._cache_store(block, values)
+        return out
 
     def read_block(self, block: int) -> np.ndarray:
-        """Block-granular random access (paper Section IV-B)."""
+        """Block-granular random access (paper Section IV-B).
+
+        Parameters
+        ----------
+        block : int
+            Block index in ``[0, num_blocks)``.
+
+        Returns
+        -------
+        ndarray, dtype float64
+            The decoded block — ``block_size`` values, fewer for a
+            trailing partial block.  Served from the decoded-block cache
+            when possible; bit-identical either way.
+        """
         if self._compressed is None:
             raise RuntimeError("nothing stored yet")
-        return self.codec.decompress_block(self._compressed, block)
+        if self.cache_blocks == 0:
+            return self.codec.decompress_block(self._compressed, block)
+        cached = self._cache_lookup(block)
+        if cached is not None:
+            return cached.copy()
+        values = self.codec.decompress_block(self._compressed, block)
+        self._cache_store(block, values)
+        return values
 
     def stored_nbytes(self) -> int:
         return self.codec.layout_for(self.n).total_nbytes
 
     @property
     def compressed(self) -> Optional[Frsz2Compressed]:
-        """The raw compressed representation (for inspection/tests)."""
+        """The raw compressed representation (for inspection/tests).
+
+        Mutating its arrays in place bypasses the accessor; call
+        :meth:`invalidate_cache` afterwards.
+        """
         return self._compressed

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 from ..gpu.device import DeviceSpec, H100_PCIE
 from ..gpu.timing import GmresTimingModel
 from ..observe import Tracer
+from ..parallel import run_grid
 from ..solvers.gmres import CbGmres
 from ..solvers.problems import make_problem
 from ..sparse.suite import resolve_scale, suite_names
@@ -92,7 +93,31 @@ def run_bench_entry(
     target_rrn: Optional[float] = None,
     device: DeviceSpec = H100_PCIE,
 ) -> dict:
-    """Run one traced solve and return its bench entry."""
+    """Run one traced solve and return its bench entry.
+
+    Parameters
+    ----------
+    matrix : str
+        Suite matrix name (``python -m repro list``).
+    storage : str
+        Krylov-basis storage format label (``float64``, ``frsz2_32``, ...).
+    scale : str, default "smoke"
+        Problem scale; controls the analog matrix dimension.
+    m, max_iter : int
+        Restart length and iteration cap.
+    target_rrn : float, optional
+        Override the matrix's calibrated target.
+    device : DeviceSpec
+        Device model for the ``modeled_seconds`` attribution.
+
+    Returns
+    -------
+    dict
+        One ``entries[]`` element of the bench schema: deterministic
+        solve metrics, per-phase wall/modeled seconds, and the tracer's
+        counter snapshot.  Top-level callable for the ``--jobs`` worker
+        pool (must stay picklable).
+    """
     problem = make_problem(matrix, scale, target_rrn=target_rrn)
     tracer = Tracer()
     problem.a.tracer = tracer
@@ -116,6 +141,16 @@ def run_bench_entry(
     wall["other"] = max(wall_total - sum(wall.values()), 0.0)
 
     modeled = GmresTimingModel(device).phase_times(result.stats, storage)
+
+    # surface the decoded-block cache's hit rate whenever the storage
+    # format performed any cache lookups (zero keys would otherwise be
+    # absent from the tracer's sparse counter dict)
+    hits = tracer.counters.get("accessor.cache.hits", 0)
+    misses = tracer.counters.get("accessor.cache.misses", 0)
+    if hits or misses:
+        tracer.counters["accessor.cache.hits"] = hits
+        tracer.counters["accessor.cache.misses"] = misses
+        tracer.counters["accessor.cache.hit_rate"] = hits / (hits + misses)
 
     return {
         "matrix": matrix,
@@ -153,8 +188,29 @@ def run_bench(
     max_iter: int = 2000,
     target_rrn: Optional[float] = None,
     device: DeviceSpec = H100_PCIE,
+    jobs: int = 1,
 ) -> dict:
-    """Run the full grid and return the schema-versioned bench document."""
+    """Run the full grid and return the schema-versioned bench document.
+
+    Parameters
+    ----------
+    matrices, storages : sequence of str, optional
+        Grid axes; defaults are the acceptance-floor grid.
+    scale : str, optional
+        Problem scale (``smoke`` / ``default`` / ``paper``).
+    m, max_iter : int
+        Restart length and iteration cap passed to every solve.
+    target_rrn : float, optional
+        Override the per-matrix calibrated targets.
+    device : DeviceSpec
+        Device model used for the ``modeled_seconds`` attribution.
+    jobs : int, default 1
+        Worker processes for the grid (:mod:`repro.parallel`).  Every
+        cell is an independent deterministic solve, so any ``jobs``
+        value produces identical deterministic metrics (iterations,
+        modeled seconds, counters); only ``wall_seconds`` varies.
+        ``1`` keeps the historical serial path.
+    """
     scale = resolve_scale(scale)
     matrices = list(matrices) if matrices else list(DEFAULT_BENCH_MATRICES)
     storages = list(storages) if storages else list(DEFAULT_BENCH_STORAGES)
@@ -163,14 +219,17 @@ def run_bench(
         raise KeyError(
             f"unknown matrices {unknown}; suite: {', '.join(suite_names())}"
         )
-    entries = [
-        run_bench_entry(
-            matrix, storage, scale, m=m, max_iter=max_iter,
-            target_rrn=target_rrn, device=device,
-        )
-        for matrix in matrices
-        for storage in storages
-    ]
+    grid = [(matrix, storage) for matrix in matrices for storage in storages]
+    entries = run_grid(
+        run_bench_entry,
+        [
+            dict(matrix=matrix, storage=storage, scale=scale, m=m,
+                 max_iter=max_iter, target_rrn=target_rrn, device=device)
+            for matrix, storage in grid
+        ],
+        jobs=jobs,
+        labels=[f"bench[{matrix}/{storage}]" for matrix, storage in grid],
+    )
     return {
         "schema": BENCH_SCHEMA,
         "schema_version": BENCH_SCHEMA_VERSION,

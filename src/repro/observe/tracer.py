@@ -162,7 +162,23 @@ class Tracer:
     # -- recording ------------------------------------------------------
 
     def span(self, name: str, **attrs: Any) -> _LiveSpan:
-        """Open a nested span; use as ``with tracer.span("spmv"): ...``."""
+        """Open a nested span; use as ``with tracer.span("spmv"): ...``.
+
+        Parameters
+        ----------
+        name : str
+            Span name; repeated names aggregate in :meth:`by_name`.
+        **attrs
+            Arbitrary key/value annotations stored on the record
+            (e.g. ``slot=3``, ``vectors=j``).
+
+        Returns
+        -------
+        context manager
+            Entering returns the live :class:`SpanRecord`; exiting
+            stamps the end time and attributes child time to the
+            parent.
+        """
         parent = self._stack[-1] if self._stack else None
         rec = SpanRecord(
             name=name,
@@ -187,7 +203,17 @@ class Tracer:
         self.spans.append(rec)
 
     def count(self, name: str, value: float = 1) -> None:
-        """Add ``value`` to counter ``name`` (created at zero)."""
+        """Add ``value`` to counter ``name`` (created at zero).
+
+        Parameters
+        ----------
+        name : str
+            Dotted counter name (``frsz2.compress.values``,
+            ``accessor.cache.hits``, ...).  One flat namespace per
+            tracer.
+        value : int or float, default 1
+            Increment; tallies are monotone by convention.
+        """
         self.counters[name] = self.counters.get(name, 0) + value
 
     def reset(self) -> None:

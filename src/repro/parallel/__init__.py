@@ -1,0 +1,11 @@
+"""Parallel execution engine: deterministic fan-out of experiment grids.
+
+See :mod:`repro.parallel.runner` for the design contract (submission-
+order results, task-local seeding, named worker-crash errors).  The
+bench and fault-campaign drivers consume this through their ``jobs``
+parameters / ``--jobs`` CLI flags.
+"""
+
+from .runner import WorkerCrashError, resolve_jobs, run_grid
+
+__all__ = ["WorkerCrashError", "resolve_jobs", "run_grid"]

@@ -1,0 +1,139 @@
+"""Deterministic parallel fan-out of experiment grids.
+
+The bench (`python -m repro bench`) and fault-campaign (`python -m repro
+faults`) commands sweep a matrix × storage (× fault × rate) grid whose
+cells are *independent solves*: each cell builds its own problem,
+tracer and (seeded) fault injectors, so cells share no mutable state
+and can run in separate processes.  :func:`run_grid` fans such a grid
+out over a :class:`concurrent.futures.ProcessPoolExecutor` while
+keeping the results **deterministic**:
+
+* results are returned in *task submission order*, never completion
+  order — a grid run with ``jobs=8`` is field-for-field identical to
+  ``jobs=1`` on every deterministic metric;
+* randomness must be task-local: every cell derives its seed from its
+  grid coordinates (e.g. the campaign's ``(seed, fault, storage, rate)``
+  spawn keys), so partitioning work across workers cannot reorder any
+  random stream;
+* ``jobs=1`` short-circuits to a plain in-process loop — byte-identical
+  to the historical serial path, with no pickling requirement at all.
+
+A worker that raises — or dies outright (segfault, ``os._exit``, OOM
+kill) — surfaces as a :class:`WorkerCrashError` naming the offending
+task; the pool is shut down, never left hanging.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["WorkerCrashError", "resolve_jobs", "run_grid"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A grid worker raised or died; names the task that was lost.
+
+    Attributes
+    ----------
+    label : str
+        Human-readable identity of the failed task (e.g.
+        ``"bench[atmosmodd/frsz2_32]"``).
+    cause : BaseException or None
+        The worker's exception when one was transported back; ``None``
+        when the worker process died without one (a broken pool).
+    """
+
+    def __init__(self, label: str, cause: Optional[BaseException] = None) -> None:
+        detail = f": {cause}" if cause is not None else " (worker process died)"
+        super().__init__(f"grid worker failed on {label}{detail}")
+        self.label = label
+        self.cause = cause
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value.
+
+    ``None`` or ``1`` mean serial; ``0`` and negative values mean "all
+    cores" (``os.cpu_count()``), mirroring ``make -j`` conventions.
+    """
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return jobs
+
+
+def run_grid(
+    fn: Callable[..., Any],
+    tasks: Sequence[Dict[str, Any]],
+    jobs: int = 1,
+    labels: Optional[Sequence[str]] = None,
+    timeout: Optional[float] = None,
+) -> List[Any]:
+    """Run ``fn(**task)`` for every task, results in submission order.
+
+    Parameters
+    ----------
+    fn : callable
+        The cell worker.  With ``jobs > 1`` it must be picklable (a
+        module-level function) and so must every task's values.
+    tasks : sequence of dict
+        Keyword arguments for each cell, one dict per cell.
+    jobs : int, default 1
+        Worker processes.  ``1`` runs a plain serial loop in-process
+        (bit-identical to the historical behaviour); ``0`` or negative
+        use every core.
+    labels : sequence of str, optional
+        Per-task names for error reporting; defaults to
+        ``task[<index>]``.
+    timeout : float, optional
+        Per-task result timeout in seconds (guards against a hung
+        worker); ``None`` waits indefinitely.
+
+    Returns
+    -------
+    list
+        ``[fn(**tasks[0]), fn(**tasks[1]), ...]`` — ordering never
+        depends on completion order.
+
+    Raises
+    ------
+    WorkerCrashError
+        A worker raised, died, or timed out; the error names the task.
+        In serial mode exceptions propagate unchanged (easier
+        debugging).
+    """
+    tasks = list(tasks)
+    if labels is None:
+        labels = [f"task[{i}]" for i in range(len(tasks))]
+    elif len(labels) != len(tasks):
+        raise ValueError(
+            f"got {len(labels)} labels for {len(tasks)} tasks"
+        )
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(tasks) <= 1:
+        return [fn(**task) for task in tasks]
+
+    results: List[Any] = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [pool.submit(fn, **task) for task in tasks]
+        try:
+            for i, future in enumerate(futures):
+                try:
+                    results[i] = future.result(timeout=timeout)
+                except BrokenProcessPool as exc:
+                    raise WorkerCrashError(labels[i]) from exc
+                except (TimeoutError, _FuturesTimeout) as exc:
+                    raise WorkerCrashError(labels[i], exc) from exc
+                except Exception as exc:
+                    raise WorkerCrashError(labels[i], exc) from exc
+        except WorkerCrashError:
+            for pending in futures:
+                pending.cancel()
+            raise
+    return results

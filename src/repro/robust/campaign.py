@@ -27,6 +27,7 @@ import numpy as np
 
 from ..accessor import make_accessor
 from ..bench.report import format_table
+from ..parallel import run_grid
 from ..solvers.gmres import CbGmres
 from ..solvers.problems import Problem, make_problem
 from .fallback import FallbackPolicy, RobustCbGmres
@@ -219,11 +220,17 @@ def run_campaign(
     fallback: bool = True,
     policy: Optional[FallbackPolicy] = None,
     target_rrn: Optional[float] = None,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Sweep fault kind × storage format × rate on one suite matrix.
 
     Deterministic: identical arguments (including ``seed``) reproduce
-    every injected fault and therefore every cell bit-for-bit.
+    every injected fault and therefore every cell bit-for-bit.  Each
+    cell's injector is seeded from its grid coordinates ``(seed, fault
+    index, storage index, rate index)``, so fanning the grid out over
+    ``jobs`` worker processes (:mod:`repro.parallel`) cannot reorder
+    any random stream: any ``jobs`` value yields identical cells, in
+    identical order.  ``jobs=1`` keeps the historical serial path.
     """
     from ..accessor import list_storage_formats
     from .faults import FAULT_KINDS
@@ -245,15 +252,24 @@ def run_campaign(
             raise ValueError(f"fault rate must be in [0, 1], got {rate}")
     problem = make_problem(matrix, scale, target_rrn=target_rrn)
     policy = policy or FallbackPolicy()
-    cells = []
-    for i_f, fault in enumerate(faults):
-        for i_s, storage in enumerate(storages):
-            for i_r, rate in enumerate(rates):
-                cells.append(_run_cell(
-                    problem, fault, storage, float(rate),
-                    (seed, i_f, i_s, i_r),
-                    m, max_iter, hardened, fallback, policy,
-                ))
+    tasks = [
+        dict(
+            problem=problem, fault=fault, storage=storage, rate=float(rate),
+            seed_key=(seed, i_f, i_s, i_r), m=m, max_iter=max_iter,
+            hardened=hardened, fallback=fallback, policy=policy,
+        )
+        for i_f, fault in enumerate(faults)
+        for i_s, storage in enumerate(storages)
+        for i_r, rate in enumerate(rates)
+    ]
+    cells = run_grid(
+        _run_cell,
+        tasks,
+        jobs=jobs,
+        labels=[
+            f"faults[{t['fault']}/{t['storage']}@{t['rate']}]" for t in tasks
+        ],
+    )
     return CampaignResult(
         matrix=matrix,
         scale=problem.scale,

@@ -245,10 +245,39 @@ class CbGmres:
     ) -> GmresResult:
         """Solve ``A x = b`` to ``||b - A x|| <= target_rrn * ||b||``.
 
-        ``monitor(iteration, j, basis, implicit_rrn)`` is invoked after
-        every Arnoldi step with the live (lossy) Krylov basis — the hook
-        the analysis tools use to observe orthogonality decay without
-        perturbing the solve.
+        Parameters
+        ----------
+        b : ndarray, shape (n,), dtype float64
+            Right-hand side; ``n`` is the matrix dimension.
+        target_rrn : float
+            Relative residual norm to reach (the paper's per-matrix
+            calibrated targets; see Table I).  Must be non-negative.
+        x0 : ndarray, shape (n,), dtype float64, optional
+            Initial guess; defaults to the zero vector (paper §V-B).
+        record_history : bool, default True
+            Record a :class:`ResidualSample` per iteration (implicit
+            Givens estimates) and per restart (explicit residuals) in
+            ``result.history``.
+        monitor : callable, optional
+            ``monitor(iteration, j, basis, implicit_rrn)`` is invoked
+            after every Arnoldi step with the live (lossy)
+            :class:`~repro.solvers.basis.KrylovBasis` — the hook the
+            analysis tools use to observe orthogonality decay without
+            perturbing the solve.
+
+        Returns
+        -------
+        GmresResult
+            ``x`` (shape ``(n,)``, float64), ``converged``,
+            ``iterations``, ``final_rrn`` (explicitly recomputed),
+            ``history``, per-kernel ``stats`` (the timing model's
+            input), and the ``breakdown_events`` / ``recoveries``
+            fault-tolerance log.
+
+        Raises
+        ------
+        ValueError
+            If ``b`` has the wrong shape or ``target_rrn`` is negative.
         """
         a = self.a
         n = a.shape[0]

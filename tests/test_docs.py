@@ -1,0 +1,48 @@
+"""Documentation health: README doctests and markdown link integrity.
+
+CI runs this as the docs job — the README quickstart must stay
+executable, and no markdown file may link to a path that does not
+exist in the repository.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: every markdown file whose links we guarantee
+DOC_FILES = sorted(
+    list(REPO.glob("*.md")) + list((REPO / "docs").glob("*.md"))
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def test_readme_doctests():
+    """Every ``>>>`` block in the README must run and match."""
+    results = doctest.testfile(
+        str(REPO / "README.md"),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 0, "README lost its doctest examples"
+    assert results.failed == 0
+
+
+@pytest.mark.parametrize("md", DOC_FILES, ids=lambda p: str(p.relative_to(REPO)))
+def test_no_dead_relative_links(md):
+    """Relative links in markdown must point at existing files."""
+    dead = []
+    for target in _LINK.findall(md.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            dead.append(target)
+    assert not dead, f"dead links in {md.name}: {dead}"

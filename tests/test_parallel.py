@@ -1,0 +1,135 @@
+"""Tests for the deterministic parallel grid runner (`repro.parallel`).
+
+The contract under test: any ``jobs`` value yields results identical to
+the serial path on every deterministic field, in submission order, and
+a broken worker surfaces as a named :class:`WorkerCrashError` — never a
+hang, never a scrambled result list.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench.perf import run_bench
+from repro.parallel import WorkerCrashError, resolve_jobs, run_grid
+from repro.robust.campaign import run_campaign
+
+# -- module-level workers (must be picklable for the process pool) -----
+
+
+def _square(x):
+    return x * x
+
+
+def _sleep_inverse(i, total):
+    """Finish in reverse submission order to stress result ordering."""
+    time.sleep(0.02 * (total - i))
+    return i
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _die(x):
+    os._exit(13)  # simulate a segfault / OOM-killed worker
+
+
+class TestRunGrid:
+    def test_serial_results(self):
+        assert run_grid(_square, [dict(x=i) for i in range(5)]) == [0, 1, 4, 9, 16]
+
+    def test_parallel_matches_serial(self):
+        tasks = [dict(x=i) for i in range(6)]
+        assert run_grid(_square, tasks, jobs=3) == run_grid(_square, tasks, jobs=1)
+
+    def test_submission_order_beats_completion_order(self):
+        tasks = [dict(i=i, total=4) for i in range(4)]
+        assert run_grid(_sleep_inverse, tasks, jobs=4) == [0, 1, 2, 3]
+
+    def test_empty_grid(self):
+        assert run_grid(_square, [], jobs=4) == []
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            run_grid(_square, [dict(x=1)], labels=["a", "b"])
+
+    def test_worker_exception_is_named(self):
+        tasks = [dict(x=1), dict(x=2)]
+        with pytest.raises(WorkerCrashError) as exc:
+            run_grid(_boom, tasks, jobs=2, labels=["cell[1]", "cell[2]"])
+        assert exc.value.label == "cell[1]"
+        assert isinstance(exc.value.cause, ValueError)
+        assert "cell[1]" in str(exc.value)
+
+    def test_worker_death_is_named_not_a_hang(self):
+        tasks = [dict(x=1), dict(x=2)]
+        start = time.monotonic()
+        with pytest.raises(WorkerCrashError) as exc:
+            run_grid(_die, tasks, jobs=2, labels=["cell[1]", "cell[2]"])
+        assert time.monotonic() - start < 60
+        assert exc.value.label == "cell[1]"
+        assert exc.value.cause is None
+        assert "died" in str(exc.value)
+
+    def test_serial_mode_propagates_raw_exception(self):
+        with pytest.raises(ValueError):
+            run_grid(_boom, [dict(x=1)], jobs=1)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-2) >= 1
+
+
+def _strip_nondeterministic(doc):
+    """Drop the host-time fields a parallel run is allowed to change."""
+    doc = dict(doc)
+    doc.pop("created", None)
+    entries = []
+    for entry in doc["entries"]:
+        entry = dict(entry)
+        entry.pop("wall_seconds", None)
+        entry["phases"] = {
+            phase: {"modeled_seconds": parts["modeled_seconds"]}
+            for phase, parts in entry["phases"].items()
+        }
+        entries.append(entry)
+    doc["entries"] = entries
+    return doc
+
+
+class TestParallelBench:
+    def test_jobs2_bench_matches_serial_field_for_field(self):
+        kwargs = dict(
+            matrices=["lung2"],
+            storages=["float64", "frsz2_32"],
+            scale="smoke",
+            m=30,
+            max_iter=400,
+        )
+        serial = run_bench(jobs=1, **kwargs)
+        fanned = run_bench(jobs=2, **kwargs)
+        assert _strip_nondeterministic(serial) == _strip_nondeterministic(fanned)
+
+
+class TestParallelCampaign:
+    def test_jobs2_campaign_matches_serial(self):
+        kwargs = dict(
+            matrix="lung2",
+            scale="smoke",
+            faults=("payload_bitflip", "readout_nan"),
+            storages=("frsz2_32",),
+            rates=(0.02,),
+            seed=7,
+            m=30,
+            max_iter=300,
+        )
+        serial = run_campaign(jobs=1, **kwargs)
+        fanned = run_campaign(jobs=2, **kwargs)
+        assert serial.cells == fanned.cells
+        assert serial.matrix == fanned.matrix
+        assert serial.seed == fanned.seed
