@@ -57,13 +57,19 @@ def _cmd_list(args) -> int:
 def _cmd_solve(args) -> int:
     from .gpu import GmresTimingModel
     from .solvers import CbGmres, FlexibleGmres, JacobiPreconditioner, make_problem
+    from .sparse import SpmvEngine
 
     p = make_problem(args.matrix, args.scale)
     target = args.target if args.target is not None else p.target_rrn
     prec = JacobiPreconditioner(p.a) if args.jacobi else None
+    a = p.a
+    if args.spmv_format != "csr":
+        a = SpmvEngine(a, format=args.spmv_format)
+        print(f"SpMV engine: {args.spmv_format} -> {a.resolved_format} "
+              f"(padding {a.padding_ratio:.2f}x)")
     solver_cls = FlexibleGmres if args.solver == "fgmres" else CbGmres
     solver = solver_cls(
-        p.a, args.storage, m=args.restart, max_iter=args.max_iter, preconditioner=prec
+        a, args.storage, m=args.restart, max_iter=args.max_iter, preconditioner=prec
     )
     res = solver.solve(p.b, target)
     status = "converged" if res.converged else ("stalled" if res.stalled else "hit cap")
@@ -205,6 +211,7 @@ def _cmd_faults(args) -> int:
             hardened=not args.unhardened,
             fallback=not args.no_fallback,
             jobs=args.jobs,
+            spmv_format=args.spmv_format,
         )
     except (KeyError, ValueError, WorkerCrashError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -262,6 +269,7 @@ def _cmd_bench(args) -> int:
             m=args.restart,
             max_iter=args.max_iter,
             jobs=args.jobs,
+            spmv_format=args.spmv_format,
         )
     except (KeyError, ValueError, WorkerCrashError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -276,6 +284,8 @@ def _cmd_bench(args) -> int:
                 e["storage"],
                 "yes" if e["converged"] else "no",
                 e["iterations"],
+                e["spmv"]["format"],
+                f"{e['spmv']['speedup_vs_csr']:.2f}x",
                 f"{e['wall_seconds'] * 1e3:.1f}",
                 f"{e['modeled_seconds'] * 1e3:.3f}",
             )
@@ -286,7 +296,8 @@ def _cmd_bench(args) -> int:
         )
     print(format_table(
         f"bench grid ({doc['scale']} scale, modeled on {doc['device']})",
-        ["matrix", "storage", "conv", "iters", "wall ms", "model ms"]
+        ["matrix", "storage", "conv", "iters", "spmv", "spmv x",
+         "wall ms", "model ms"]
         + [f"{p}%" for p in BENCH_PHASES],
         rows,
     ))
@@ -313,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jacobi", action="store_true", help="apply a Jacobi preconditioner")
     p.add_argument("--solver", default="cb", choices=["cb", "fgmres"],
                    help="cb = CB-GMRES (compress V); fgmres = ref [17] (compress Z)")
+    p.add_argument("--spmv-format", default="auto",
+                   choices=["auto", "csr", "ell", "sell"],
+                   help="SpMV storage format (auto = structure-driven selection)")
 
     p = sub.add_parser("compress", help="evaluate a compressor on data")
     p.add_argument("--format", default="frsz2_32")
@@ -352,6 +366,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the campaign grid "
                         "(default 1 = serial; 0 = all cores; results are "
                         "identical for any value)")
+    p.add_argument("--spmv-format", default="csr",
+                   choices=["auto", "csr", "ell", "sell"],
+                   help="SpMV storage format under fault injection "
+                        "(default csr, the historical campaign baseline)")
 
     p = sub.add_parser(
         "bench",
@@ -363,14 +381,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suite matrices (default: atmosmodd cfd2 lung2)")
     p.add_argument("--storages", nargs="*", default=None,
                    help="storage formats (default: float64 float32 frsz2_32)")
-    p.add_argument("--scale", default="smoke",
-                   choices=["smoke", "default", "paper"])
+    p.add_argument("--scale", default="default",
+                   choices=["smoke", "default", "paper"],
+                   help="problem scale (default: 'default' — smoke-scale "
+                        "matrices are too small for meaningful SpMV "
+                        "wall-clock measurements)")
     p.add_argument("--restart", type=int, default=50)
     p.add_argument("--max-iter", type=int, default=2000)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the bench grid (default 1 = "
                         "serial; 0 = all cores; deterministic metrics are "
                         "identical for any value)")
+    p.add_argument("--spmv-format", default="auto",
+                   choices=["auto", "csr", "ell", "sell"],
+                   help="SpMV engine format for every grid cell "
+                        "(auto = structure-driven selection per matrix)")
     p.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"), default=None,
                    help="diff two bench files; exit 1 on regressions")
     p.add_argument("--tolerance", type=float, default=0.05,

@@ -28,10 +28,11 @@ from typing import Dict, List, Optional, Sequence
 
 from ..gpu.device import DeviceSpec, H100_PCIE
 from ..gpu.timing import GmresTimingModel
-from ..observe import Tracer
+from ..observe import NULL_TRACER, Tracer
 from ..parallel import run_grid
 from ..solvers.gmres import CbGmres
 from ..solvers.problems import make_problem
+from ..sparse.engine import SPMV_FORMATS
 from ..sparse.suite import resolve_scale, suite_names
 
 __all__ = [
@@ -52,7 +53,8 @@ __all__ = [
 #: schema identifier embedded in every bench file
 BENCH_SCHEMA = "repro.bench.gmres"
 #: bump on any incompatible change to the document layout
-BENCH_SCHEMA_VERSION = 1
+#: (v2: top-level ``spmv_format`` + per-entry ``spmv`` block)
+BENCH_SCHEMA_VERSION = 2
 #: per-phase attribution keys (observe span names + the remainder)
 BENCH_PHASES = (
     "spmv",
@@ -84,6 +86,23 @@ _ENTRY_SCALARS = {
 }
 
 
+def _spmv_wall_seconds(op, x, rounds: int = 7, reps: int = 10) -> float:
+    """Best-of-``rounds`` mean matvec wall time over ``reps`` calls.
+
+    The minimum over rounds is the standard noise-robust wall-clock
+    estimate: scheduler preemption and frequency scaling only ever make
+    a round slower, never faster.
+    """
+    op.matvec(x)  # warm caches and lazy allocations outside the timing
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            op.matvec(x)
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
 def run_bench_entry(
     matrix: str,
     storage: str,
@@ -92,6 +111,7 @@ def run_bench_entry(
     max_iter: int = 2000,
     target_rrn: Optional[float] = None,
     device: DeviceSpec = H100_PCIE,
+    spmv_format: str = "auto",
 ) -> dict:
     """Run one traced solve and return its bench entry.
 
@@ -109,19 +129,27 @@ def run_bench_entry(
         Override the matrix's calibrated target.
     device : DeviceSpec
         Device model for the ``modeled_seconds`` attribution.
+    spmv_format : str, default "auto"
+        SpMV engine format (``auto`` / ``csr`` / ``ell`` / ``sell``);
+        the entry's ``spmv`` block records the requested and resolved
+        format plus a measured matvec speedup over the CSR kernel.
 
     Returns
     -------
     dict
         One ``entries[]`` element of the bench schema: deterministic
-        solve metrics, per-phase wall/modeled seconds, and the tracer's
-        counter snapshot.  Top-level callable for the ``--jobs`` worker
-        pool (must stay picklable).
+        solve metrics, per-phase wall/modeled seconds, the ``spmv``
+        format/speedup block, and the tracer's counter snapshot.
+        Top-level callable for the ``--jobs`` worker pool (must stay
+        picklable).
     """
     problem = make_problem(matrix, scale, target_rrn=target_rrn)
     tracer = Tracer()
     problem.a.tracer = tracer
-    solver = CbGmres(problem.a, storage, m=m, max_iter=max_iter, tracer=tracer)
+    solver = CbGmres(
+        problem.a, storage, m=m, max_iter=max_iter,
+        spmv_format=spmv_format, tracer=tracer,
+    )
     t0 = time.perf_counter()
     result = solver.solve(problem.b, problem.target_rrn)
     wall_total = time.perf_counter() - t0
@@ -152,6 +180,27 @@ def run_bench_entry(
         tracer.counters["accessor.cache.misses"] = misses
         tracer.counters["accessor.cache.hit_rate"] = hits / (hits + misses)
 
+    # measured SpMV speedup over the CSR kernel: time the engine's
+    # matvec and the raw CSR matvec back to back with tracing disabled
+    # (spans would perturb both sides).  When the resolved format *is*
+    # CSR the two operators are the same object, so the speedup is
+    # exactly 1.0 by construction rather than timing noise.
+    engine = solver.a
+    resolved = getattr(engine, "resolved_format", "csr")
+    padding_ratio = float(getattr(engine, "padding_ratio", 1.0))
+    problem.a.tracer = NULL_TRACER
+    try:
+        if engine is problem.a or getattr(engine, "impl", None) is problem.a:
+            spmv_wall = csr_wall = _spmv_wall_seconds(problem.a, problem.b)
+            speedup = 1.0
+        else:
+            spmv_wall = _spmv_wall_seconds(engine, problem.b)
+            csr_wall = _spmv_wall_seconds(problem.a, problem.b)
+            speedup = csr_wall / spmv_wall if spmv_wall > 0 else 1.0
+    finally:
+        problem.a.tracer = tracer
+    tracer.counters["spmv.padding_ratio"] = padding_ratio
+
     return {
         "matrix": matrix,
         "storage": storage,
@@ -166,6 +215,15 @@ def run_bench_entry(
         "bits_per_value": float(result.stats.bits_per_value),
         "wall_seconds": float(wall_total),
         "modeled_seconds": float(sum(modeled.values())),
+        "spmv": {
+            "requested": str(spmv_format),
+            "format": str(resolved),
+            "padding_ratio": padding_ratio,
+            "padded_entries": int(getattr(engine, "padded_entries", problem.a.nnz)),
+            "wall_seconds": float(spmv_wall),
+            "csr_wall_seconds": float(csr_wall),
+            "speedup_vs_csr": float(speedup),
+        },
         "phases": {
             phase: {
                 "wall_seconds": float(wall[phase]),
@@ -189,6 +247,7 @@ def run_bench(
     target_rrn: Optional[float] = None,
     device: DeviceSpec = H100_PCIE,
     jobs: int = 1,
+    spmv_format: str = "auto",
 ) -> dict:
     """Run the full grid and return the schema-versioned bench document.
 
@@ -210,7 +269,15 @@ def run_bench(
         value produces identical deterministic metrics (iterations,
         modeled seconds, counters); only ``wall_seconds`` varies.
         ``1`` keeps the historical serial path.
+    spmv_format : str, default "auto"
+        SpMV engine format applied to every cell (``--spmv-format``);
+        ``auto`` selections are deterministic per matrix, so the grid's
+        resolved formats are part of the reproducible trajectory.
     """
+    if spmv_format not in SPMV_FORMATS:
+        raise ValueError(
+            f"unknown SpMV format {spmv_format!r}; expected one of {SPMV_FORMATS}"
+        )
     scale = resolve_scale(scale)
     matrices = list(matrices) if matrices else list(DEFAULT_BENCH_MATRICES)
     storages = list(storages) if storages else list(DEFAULT_BENCH_STORAGES)
@@ -224,7 +291,8 @@ def run_bench(
         run_bench_entry,
         [
             dict(matrix=matrix, storage=storage, scale=scale, m=m,
-                 max_iter=max_iter, target_rrn=target_rrn, device=device)
+                 max_iter=max_iter, target_rrn=target_rrn, device=device,
+                 spmv_format=spmv_format)
             for matrix, storage in grid
         ],
         jobs=jobs,
@@ -238,6 +306,7 @@ def run_bench(
         "scale": scale,
         "restart": int(m),
         "max_iter": int(max_iter),
+        "spmv_format": str(spmv_format),
         "matrices": matrices,
         "storages": storages,
         "entries": entries,
@@ -272,8 +341,11 @@ def validate_bench(doc: dict) -> None:
     _expect(doc.get("schema_version") == BENCH_SCHEMA_VERSION,
             "$.schema_version",
             f"expected {BENCH_SCHEMA_VERSION}, got {doc.get('schema_version')!r}")
-    for key in ("created", "device", "scale"):
+    for key in ("created", "device", "scale", "spmv_format"):
         _expect(isinstance(doc.get(key), str), f"$.{key}", "expected a string")
+    _expect(doc["spmv_format"] in ("auto", "csr", "ell", "sell"),
+            "$.spmv_format",
+            f"expected one of auto/csr/ell/sell, got {doc['spmv_format']!r}")
     for key in ("restart", "max_iter"):
         _expect(isinstance(doc.get(key), int) and doc[key] > 0,
                 f"$.{key}", "expected a positive integer")
@@ -305,6 +377,29 @@ def validate_bench(doc: dict) -> None:
             else:
                 _expect(isinstance(entry[key], str), f"{where}.{key}",
                         "expected a string")
+        spmv = entry.get("spmv")
+        _expect(isinstance(spmv, dict), f"{where}.spmv", "expected an object")
+        _expect(
+            set(spmv) == {"requested", "format", "padding_ratio",
+                          "padded_entries", "wall_seconds",
+                          "csr_wall_seconds", "speedup_vs_csr"},
+            f"{where}.spmv",
+            f"unexpected spmv block keys {sorted(spmv)}",
+        )
+        for key in ("requested", "format"):
+            _expect(isinstance(spmv[key], str), f"{where}.spmv.{key}",
+                    "expected a string")
+        _expect(spmv["format"] in ("csr", "ell", "sell"),
+                f"{where}.spmv.format",
+                f"expected a resolved format, got {spmv['format']!r}")
+        _expect(
+            isinstance(spmv["padded_entries"], int)
+            and not isinstance(spmv["padded_entries"], bool),
+            f"{where}.spmv.padded_entries", "expected an integer",
+        )
+        for key in ("padding_ratio", "wall_seconds", "csr_wall_seconds",
+                    "speedup_vs_csr"):
+            _expect_number(spmv[key], f"{where}.spmv.{key}")
         phases = entry.get("phases")
         _expect(isinstance(phases, dict), f"{where}.phases",
                 "expected an object")

@@ -8,16 +8,25 @@ timing model (Fig. 11).
 """
 
 from .device import A100_SXM, DEVICES, H100_PCIE, DeviceSpec
-from .kernels import FORMATS, FormatCost, KernelCost, format_cost, read_kernel_cost
+from .kernels import (
+    FORMATS,
+    FormatCost,
+    KernelCost,
+    format_cost,
+    read_kernel_cost,
+    spmv_kernel_cost,
+)
 from .roofline import (
     DEFAULT_FORMATS,
     DEFAULT_INTENSITIES,
     RooflinePoint,
+    SpmvRooflinePoint,
     achieved_bandwidth,
     bandwidth_efficiency,
     cuszp2_bandwidth_range,
     frsz2_vs_cuszp2_speedup,
     roofline_series,
+    spmv_roofline,
 )
 from .timing import GmresTimingModel, SolveTiming, speedup_table
 from .warp import Warp, WarpKernelReport, warp_compress_block, warp_decompress_block
@@ -32,10 +41,13 @@ __all__ = [
     "FORMATS",
     "format_cost",
     "read_kernel_cost",
+    "spmv_kernel_cost",
     "RooflinePoint",
+    "SpmvRooflinePoint",
     "DEFAULT_FORMATS",
     "DEFAULT_INTENSITIES",
     "roofline_series",
+    "spmv_roofline",
     "achieved_bandwidth",
     "bandwidth_efficiency",
     "cuszp2_bandwidth_range",

@@ -18,7 +18,14 @@ from typing import Dict
 
 from .device import DeviceSpec
 
-__all__ = ["FormatCost", "format_cost", "KernelCost", "read_kernel_cost", "FORMATS"]
+__all__ = [
+    "FormatCost",
+    "format_cost",
+    "KernelCost",
+    "read_kernel_cost",
+    "spmv_kernel_cost",
+    "FORMATS",
+]
 
 #: extra per-value instructions for fields straddling 32-bit words
 #: (two-word read, double shift, merge — Section IV-C optimization 3)
@@ -139,3 +146,47 @@ def read_kernel_cost(fmt: FormatCost, n: int, arithmetic_intensity: float) -> Ke
         aligned=fmt.aligned,
         bw_derate=fmt.bandwidth_derate,
     )
+
+
+def spmv_kernel_cost(
+    n: int,
+    nnz: int,
+    fmt: str = "csr",
+    padded_entries: "int | None" = None,
+    slice_size: int = 32,
+) -> KernelCost:
+    """SpMV launch cost per storage format (mirrors the SpmvCounter
+    byte/flop models of :mod:`repro.sparse`).
+
+    * ``csr`` streams values + column indices + row pointers and gathers
+      ``x`` once per nonzero;
+    * ``ell`` executes the full padded rectangle (``padded_entries``
+      slots): values + indices + gather per slot, no row pointers;
+    * ``sell`` adds the slice-pointer array and the σ row permutation to
+      the padded-rectangle traffic.
+
+    Padding shows up as real traffic and real flops — the reason the
+    autotuner's rule table bounds the padding ratio before switching a
+    matrix off CSR.
+    """
+    if fmt == "csr":
+        return KernelCost(
+            bytes_moved=nnz * (8 + 4) + (n + 1) * 4 + nnz * 8 + n * 8,
+            fp64_flops=2 * nnz,
+            int_ops=nnz,  # index arithmetic
+        )
+    p = int(padded_entries) if padded_entries is not None else nnz
+    if fmt == "ell":
+        return KernelCost(
+            bytes_moved=p * (8 + 4) + p * 8 + n * 8,
+            fp64_flops=2 * p,
+            int_ops=p,
+        )
+    if fmt == "sell":
+        n_slices = (n + slice_size - 1) // slice_size
+        return KernelCost(
+            bytes_moved=p * (8 + 4) + p * 8 + (n_slices + 1) * 4 + n * 4 + n * 8,
+            fp64_flops=2 * p,
+            int_ops=p,
+        )
+    raise KeyError(f"unknown SpMV format {fmt!r}")

@@ -29,13 +29,15 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from .device import A100_SXM, DeviceSpec, H100_PCIE
-from .kernels import FormatCost, format_cost, read_kernel_cost
+from .kernels import FormatCost, format_cost, read_kernel_cost, spmv_kernel_cost
 
 __all__ = [
     "DEFAULT_FORMATS",
     "DEFAULT_INTENSITIES",
     "RooflinePoint",
+    "SpmvRooflinePoint",
     "roofline_series",
+    "spmv_roofline",
     "achieved_bandwidth",
     "bandwidth_efficiency",
     "cuszp2_bandwidth_range",
@@ -94,6 +96,56 @@ def roofline_series(
                 )
             )
         out[name] = series
+    return out
+
+
+@dataclass(frozen=True)
+class SpmvRooflinePoint:
+    """Modeled per-matvec cost of one SpMV storage format on a matrix."""
+
+    format: str
+    bytes_moved: float
+    flops: float
+    padded_entries: int
+    padding_ratio: float
+    seconds: float
+    effective_gbps: float
+
+
+def spmv_roofline(a, device: DeviceSpec = H100_PCIE) -> Dict[str, SpmvRooflinePoint]:
+    """Per-format SpMV roofline for a concrete matrix.
+
+    Models one matvec of ``a`` (a :class:`~repro.sparse.csr.CSRMatrix`)
+    in each of the engine's storage formats, charging padded layouts
+    their padding traffic — the quantity the autotuner's rule table
+    trades against the padded kernels' regular access pattern.  The
+    ``auto`` entry duplicates whichever format
+    :func:`~repro.sparse.engine.choose_format` selects.
+    """
+    from ..sparse.engine import choose_format, row_stats
+    from ..sparse.sell import DEFAULT_SLICE_SIZE
+
+    s = row_stats(a)
+    n, nnz = a.shape[0], a.nnz
+    padded = {
+        "csr": nnz,
+        "ell": int(round(s.ell_padding * nnz)),
+        "sell": int(round(s.sell_padding * nnz)),
+    }
+    out: Dict[str, SpmvRooflinePoint] = {}
+    for fmt, p in padded.items():
+        cost = spmv_kernel_cost(n, nnz, fmt, p, DEFAULT_SLICE_SIZE)
+        t = cost.time_on(device)
+        out[fmt] = SpmvRooflinePoint(
+            format=fmt,
+            bytes_moved=cost.bytes_moved,
+            flops=cost.fp64_flops,
+            padded_entries=p,
+            padding_ratio=p / nnz if nnz else 1.0,
+            seconds=t,
+            effective_gbps=cost.bytes_moved / t / 1e9 if t else 0.0,
+        )
+    out["auto"] = out[choose_format(a)]
     return out
 
 

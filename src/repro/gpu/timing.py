@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Sequence
 
 from .device import DeviceSpec, H100_PCIE
-from .kernels import KernelCost, format_cost
+from .kernels import KernelCost, format_cost, spmv_kernel_cost
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (solvers uses gpu)
     from ..solvers.gmres import GmresResult, SolveStats
@@ -55,13 +55,17 @@ class GmresTimingModel:
 
     # -- kernel building blocks ---------------------------------------
 
-    def spmv_cost(self, n: int, nnz: int) -> KernelCost:
-        """CSR SpMV: values + column indices + x gather + y write."""
-        return KernelCost(
-            bytes_moved=nnz * (8 + 4) + (n + 1) * 4 + nnz * 8 + n * 8,
-            fp64_flops=2 * nnz,
-            int_ops=nnz,  # index arithmetic
-        )
+    def spmv_cost(
+        self,
+        n: int,
+        nnz: int,
+        fmt: str = "csr",
+        padded_entries: "int | None" = None,
+    ) -> KernelCost:
+        """SpMV in the given storage format (padded layouts charge
+        their padding as traffic; see
+        :func:`repro.gpu.kernels.spmv_kernel_cost`)."""
+        return spmv_kernel_cost(n, nnz, fmt, padded_entries)
 
     def basis_read_cost(self, n: int, storage: str) -> KernelCost:
         """Read one stored basis vector (dot-product side: 2 flops/value)."""
@@ -100,9 +104,12 @@ class GmresTimingModel:
         uncompressed = getattr(stats, "uncompressed_basis_reads", 0)
         if uncompressed:
             basis_read_s += uncompressed * self.basis_read_cost(n, "float64").time_on(d)
+        spmv_fmt = getattr(stats, "spmv_format", "csr")
+        spmv_padded = getattr(stats, "spmv_padded_entries", 0) or stats.nnz
         return SolveTiming(
             storage=storage,
-            spmv_seconds=stats.spmv_calls * self.spmv_cost(n, stats.nnz).time_on(d),
+            spmv_seconds=stats.spmv_calls
+            * self.spmv_cost(n, stats.nnz, spmv_fmt, spmv_padded).time_on(d),
             basis_read_seconds=basis_read_s,
             basis_write_seconds=stats.basis_writes * self.basis_write_cost(n, storage).time_on(d),
             vector_ops_seconds=stats.dense_vector_ops * self.dense_vector_cost(n).time_on(d),

@@ -28,6 +28,7 @@ import numpy as np
 from ..accessor import make_accessor
 from ..bench.report import format_table
 from ..parallel import run_grid
+from ..sparse.engine import SPMV_FORMATS, SpmvEngine
 from ..solvers.gmres import CbGmres
 from ..solvers.problems import Problem, make_problem
 from .fallback import FallbackPolicy, RobustCbGmres
@@ -145,9 +146,14 @@ def _run_cell(
     hardened: bool,
     fallback: bool,
     policy: FallbackPolicy,
+    spmv_format: str = "csr",
 ) -> CampaignCell:
     injector = FaultInjector(rate, seed_key)
     a = problem.a
+    if spmv_format != "csr":
+        # build the engine first so SpMV faults poison the *selected*
+        # format's output, exactly as they would the CSR kernel's
+        a = SpmvEngine(a, format=spmv_format)
     if fault in _SPMV_FAULTS:
         a = FaultySpmvMatrix(a, injector, fault)
         wrap = None
@@ -221,6 +227,7 @@ def run_campaign(
     policy: Optional[FallbackPolicy] = None,
     target_rrn: Optional[float] = None,
     jobs: int = 1,
+    spmv_format: str = "csr",
 ) -> CampaignResult:
     """Sweep fault kind × storage format × rate on one suite matrix.
 
@@ -250,6 +257,10 @@ def run_campaign(
         rate = float(rate)
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+    if spmv_format not in SPMV_FORMATS:
+        raise ValueError(
+            f"unknown SpMV format {spmv_format!r}; expected one of {SPMV_FORMATS}"
+        )
     problem = make_problem(matrix, scale, target_rrn=target_rrn)
     policy = policy or FallbackPolicy()
     tasks = [
@@ -257,6 +268,7 @@ def run_campaign(
             problem=problem, fault=fault, storage=storage, rate=float(rate),
             seed_key=(seed, i_f, i_s, i_r), m=m, max_iter=max_iter,
             hardened=hardened, fallback=fallback, policy=policy,
+            spmv_format=spmv_format,
         )
         for i_f, fault in enumerate(faults)
         for i_s, storage in enumerate(storages)

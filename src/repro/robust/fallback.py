@@ -17,6 +17,8 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..accessor import VectorAccessor, make_accessor
+from ..sparse.csr import CSRMatrix
+from ..sparse.engine import SpmvEngine
 from ..solvers.gmres import (
     DEFAULT_MAX_ITER,
     DEFAULT_MAX_RECOVERIES,
@@ -134,6 +136,9 @@ class RobustCbGmres:
     ``accessor_factory``, when given, maps ``(storage, n)`` to an
     accessor — the hook the fault-injection campaign uses to wrap every
     attempt's basis in a :class:`~repro.robust.faults.FaultyAccessor`.
+    ``spmv_format`` (default ``"csr"``) wraps ``a`` in a
+    :class:`~repro.sparse.engine.SpmvEngine` *once*, so every attempt
+    of the chain reuses the same converted layout.
     """
 
     def __init__(
@@ -146,7 +151,11 @@ class RobustCbGmres:
         accessor_factory: "Callable[[str, int], VectorAccessor] | None" = None,
         preconditioner: Optional[Preconditioner] = None,
         orthogonalization: str = "cgs",
+        spmv_format: str = "csr",
     ) -> None:
+        if spmv_format != "csr" and isinstance(a, CSRMatrix):
+            a = SpmvEngine(a, format=spmv_format)
+        self.spmv_format = spmv_format
         self.a = a
         self.policy = policy or FallbackPolicy()
         self.m = int(m)

@@ -202,11 +202,16 @@ class FaultyAccessor(VectorAccessor):
 
 
 class FaultySpmvMatrix:
-    """Wrap a CSR matrix; inject NaN/Inf into matvec outputs.
+    """Wrap a SpMV operator; inject NaN/Inf into matvec outputs.
 
-    Presents the subset of the ``CSRMatrix`` interface the solvers use
+    Presents the subset of the operator interface the solvers use
     (``shape``, ``nnz``, ``matvec``); each matvec is one injector trial,
-    and a fired trial poisons one output element.
+    and a fired trial poisons one output element.  The inner operator
+    may be a plain :class:`~repro.sparse.csr.CSRMatrix` or a
+    :class:`~repro.sparse.engine.SpmvEngine` (the fault campaign wraps
+    the engine so faults land on the *selected* format's output);
+    ``resolved_format``/``padded_entries`` pass through so the solver's
+    per-format accounting survives the wrapper.
     """
 
     def __init__(self, inner, injector: FaultInjector, kind: str = "spmv_nan") -> None:
@@ -230,10 +235,19 @@ class FaultySpmvMatrix:
     def n(self):
         return self.inner.shape[0]
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        y = self.inner.matvec(x)
+    @property
+    def resolved_format(self) -> str:
+        return getattr(self.inner, "resolved_format", "csr")
+
+    @property
+    def padded_entries(self) -> int:
+        return int(getattr(self.inner, "padded_entries", self.inner.nnz))
+
+    def matvec(self, x: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+        y = self.inner.matvec(x) if out is None else self.inner.matvec(x, out=out)
         if self.injector.fire() and y.size:
-            y = np.array(y, dtype=np.float64)
+            if out is None:
+                y = np.array(y, dtype=np.float64)
             y[self.injector.choose(y.size)] = (
                 np.nan if self.kind == "spmv_nan" else np.inf
             )

@@ -20,6 +20,7 @@ preconditioner to not blur the numerical impact").
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -28,6 +29,7 @@ import numpy as np
 from ..accessor import VectorAccessor
 from ..observe import NULL_TRACER
 from ..sparse.csr import CSRMatrix
+from ..sparse.engine import SPMV_FORMATS, SpmvEngine
 from .basis import KrylovBasis
 from .hessenberg import GivensLeastSquares
 from .orthogonal import DEFAULT_ETA, cgs_orthogonalize, mgs_orthogonalize
@@ -104,6 +106,10 @@ class SolveStats:
     uncompressed_basis_reads: int = 0
     #: poisoned Arnoldi cycles discarded and restarted (fault tolerance)
     recoveries: int = 0
+    #: storage format the SpMV kernel executed in ("csr"/"ell"/"sell")
+    spmv_format: str = "csr"
+    #: stored slots of that layout including padding (``nnz`` for CSR)
+    spmv_padded_entries: int = 0
 
 
 @dataclass
@@ -169,6 +175,16 @@ class CbGmres:
         ``"cgs"`` (Fig. 1: classical Gram-Schmidt + conditional
         re-orthogonalization, Ginkgo's choice) or ``"mgs"`` (modified
         Gram-Schmidt, for numerical comparisons).
+    spmv_format:
+        SpMV storage format: ``"csr"`` (default) runs the matrix as
+        given — bit-identical to the pre-engine solver; ``"ell"`` /
+        ``"sell"`` force that layout; ``"auto"`` lets
+        :func:`repro.sparse.engine.choose_format` pick from the row
+        statistics.  Anything but ``"csr"`` wraps ``a`` in a
+        :class:`~repro.sparse.engine.SpmvEngine` and therefore requires
+        a plain :class:`~repro.sparse.csr.CSRMatrix` (pass a
+        pre-built engine — or wrap decorators such as fault injectors
+        *around* one — to combine the two).
     recovery:
         When True (default), NaN/Inf escaping the Arnoldi loop — from a
         faulty SpMV, a corrupted stored basis vector, or a poisoned
@@ -211,12 +227,28 @@ class CbGmres:
         orthogonalization: str = "cgs",
         recovery: bool = True,
         max_recoveries: int = DEFAULT_MAX_RECOVERIES,
+        spmv_format: str = "csr",
         tracer=None,
     ) -> None:
         if a.shape[0] != a.shape[1]:
             raise ValueError("GMRES requires a square matrix")
         if m < 1:
             raise ValueError("restart length must be positive")
+        if spmv_format not in SPMV_FORMATS:
+            raise ValueError(
+                f"unknown SpMV format {spmv_format!r}; "
+                f"expected one of {SPMV_FORMATS}"
+            )
+        self.spmv_format = spmv_format
+        if spmv_format != "csr" and not isinstance(a, SpmvEngine):
+            if not isinstance(a, CSRMatrix):
+                raise ValueError(
+                    f"spmv_format={spmv_format!r} requires a CSRMatrix (or a "
+                    "pre-built SpmvEngine); got "
+                    f"{type(a).__name__} — wrap operator decorators around "
+                    "an SpmvEngine instead"
+                )
+            a = SpmvEngine(a, format=spmv_format)
         self.a = a
         self.storage = storage
         self.m = int(m)
@@ -296,7 +328,11 @@ class CbGmres:
         tracer = self.tracer
         basis = KrylovBasis(n, self.m, self.storage, self._factory, tracer=tracer)
         stats = SolveStats(
-            n=n, nnz=a.nnz, bits_per_value=basis.bits_per_value
+            n=n,
+            nnz=a.nnz,
+            bits_per_value=basis.bits_per_value,
+            spmv_format=getattr(a, "resolved_format", "csr"),
+            spmv_padded_entries=int(getattr(a, "padded_entries", a.nnz)),
         )
         history: List[ResidualSample] = []
         if bnorm == 0.0:
@@ -310,6 +346,16 @@ class CbGmres:
                 history=history,
                 stats=stats,
             )
+
+        # Arnoldi SpMV scratch: every matvec in the cycle lands in the
+        # same preallocated buffer (the orthogonalization copies w before
+        # mutating it, so the buffer never escapes an iteration); skipped
+        # for operators whose matvec lacks an ``out=`` parameter
+        try:
+            matvec_takes_out = "out" in inspect.signature(a.matvec).parameters
+        except (TypeError, ValueError):  # builtins/C callables
+            matvec_takes_out = False
+        w_buf = np.empty(n) if matvec_takes_out else None
 
         total_iters = 0
         stagnant = 0
@@ -384,7 +430,10 @@ class CbGmres:
                     z = prec.apply(v)
                     stats.preconditioner_applies += 1
                 with tracer.span("spmv"):
-                    w = a.matvec(z)
+                    if w_buf is not None:
+                        w = a.matvec(z, out=w_buf)
+                    else:
+                        w = a.matvec(z)
                 stats.spmv_calls += 1
                 if self.recovery and not np.all(np.isfinite(w)):
                     poison = BreakdownEvent(total_iters, "nonfinite_spmv")

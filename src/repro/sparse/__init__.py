@@ -1,9 +1,19 @@
-"""Sparse-matrix substrate: CSR/COO containers, vectorized SpMV,
-MatrixMarket I/O and the Table I synthetic matrix suite."""
+"""Sparse-matrix substrate: CSR/COO/ELL/SELL-C-σ containers, the
+structure-driven SpMV engine, MatrixMarket I/O and the Table I
+synthetic matrix suite."""
 
 from .coo import COOMatrix
 from .csr import CSRMatrix, SpmvCounter
+from .ell import ELLMatrix
+from .engine import (
+    SPMV_FORMATS,
+    RowStats,
+    SpmvEngine,
+    choose_format,
+    row_stats,
+)
 from .io import read_matrix_market, write_matrix_market
+from .sell import DEFAULT_SIGMA, DEFAULT_SLICE_SIZE, SELLMatrix
 from .reorder import (
     Permutation,
     magnitude_ordering,
@@ -16,6 +26,15 @@ __all__ = [
     "COOMatrix",
     "CSRMatrix",
     "SpmvCounter",
+    "ELLMatrix",
+    "SELLMatrix",
+    "SpmvEngine",
+    "SPMV_FORMATS",
+    "RowStats",
+    "row_stats",
+    "choose_format",
+    "DEFAULT_SLICE_SIZE",
+    "DEFAULT_SIGMA",
     "Permutation",
     "magnitude_ordering",
     "permute_system",

@@ -23,11 +23,17 @@ __all__ = ["CSRMatrix", "SpmvCounter"]
 
 @dataclass
 class SpmvCounter:
-    """Accumulated SpMV work, consumed by :mod:`repro.gpu.timing`."""
+    """Accumulated SpMV work, consumed by :mod:`repro.gpu.timing`.
+
+    ``format`` names the storage layout whose traffic model produced
+    ``bytes_moved``/``flops`` (padded layouts charge their padding), so
+    per-format accounting survives aggregation.
+    """
 
     calls: int = 0
     flops: int = 0
     bytes_moved: int = 0
+    format: str = "csr"
 
     def reset(self) -> None:
         self.calls = 0
@@ -117,6 +123,7 @@ class CSRMatrix:
                 self.nnz * (8 + 4) + (self.shape[0] + 1) * 4
                 + self.nnz * 8 + self.shape[0] * 8,
             )
+            self.tracer.count("spmv.format.csr")
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,265 @@
+"""Structure-driven SpMV engine: format selection + unified front end.
+
+The predecessor CB-GMRES GPU paper (Aliaga et al., "Compressed Basis
+GMRES on High Performance GPUs") obtains its SpMV numbers by switching
+between Ginkgo's CSR and sliced-ELLPACK kernels depending on matrix
+structure; this module reproduces that decision as a deterministic rule
+table over row-length statistics:
+
+======  ===========================================================
+format  chosen when
+======  ===========================================================
+ell     ``max_len <= ELL_MAX_WIDTH`` and ``ell_padding <=
+        ELL_MAX_PADDING`` — near-uniform rows (stencils, banded
+        matrices): the dense rectangle wastes little traffic and the
+        kernel is a single gather/multiply/reduce pass.
+sell    ``sell_padding <= SELL_MAX_PADDING`` — irregular rows that a
+        per-slice width (plus σ-window sorting) repairs.
+csr     everything else — long-tail row-length distributions where
+        any padded layout would multiply the traffic.
+======  ===========================================================
+
+Ties are impossible (rules are checked in order), and every statistic
+is a pure function of the sparsity pattern, so the same matrix always
+selects the same format — the reproducibility contract
+``python -m repro bench --spmv-format auto`` relies on.
+
+:class:`SpmvEngine` wraps a :class:`~repro.sparse.csr.CSRMatrix` and
+presents the same operator interface (``matvec``/``rmatvec``/``shape``/
+``nnz``/``tracer``), routing ``matvec`` through the selected format's
+kernel.  The ELL and SELL kernels accumulate each row in CSR entry
+order, so the engine's results are bit-identical to the CSR path on
+finite inputs (see :mod:`repro.sparse.ell`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRMatrix
+from .ell import ELLMatrix
+from .sell import DEFAULT_SIGMA, DEFAULT_SLICE_SIZE, SELLMatrix, sell_padded_entries
+
+__all__ = [
+    "SPMV_FORMATS",
+    "ELL_MAX_WIDTH",
+    "ELL_MAX_PADDING",
+    "SELL_MAX_PADDING",
+    "RowStats",
+    "row_stats",
+    "choose_format",
+    "SpmvEngine",
+]
+
+#: accepted values for every ``spmv_format=`` knob
+SPMV_FORMATS = ("auto", "csr", "ell", "sell")
+
+#: rule table: widest row ELL will pad every row to
+ELL_MAX_WIDTH = 64
+#: rule table: maximum padded-slots-per-nonzero ELL may cost
+ELL_MAX_PADDING = 1.5
+#: rule table: maximum padded-slots-per-nonzero SELL-C-σ may cost
+SELL_MAX_PADDING = 2.5
+
+
+@dataclass(frozen=True)
+class RowStats:
+    """Row-length statistics of a sparsity pattern (autotuner features)."""
+
+    rows: int
+    cols: int
+    nnz: int
+    min_len: int
+    max_len: int
+    mean_len: float
+    std_len: float
+    #: coefficient of variation (std / mean; 0 for perfectly uniform rows)
+    cv: float
+    empty_rows: int
+    #: ELLPACK padded slots per nonzero (``rows * max_len / nnz``)
+    ell_padding: float
+    #: SELL-C-σ padded slots per nonzero at the default (C, σ)
+    sell_padding: float
+
+
+def row_stats(
+    a: CSRMatrix,
+    slice_size: int = DEFAULT_SLICE_SIZE,
+    sigma: int = DEFAULT_SIGMA,
+) -> RowStats:
+    """Compute the autotuner's feature vector for a CSR matrix."""
+    lengths = np.diff(a.indptr)
+    m, n = a.shape
+    nnz = int(a.nnz)
+    if m == 0 or nnz == 0:
+        return RowStats(m, n, nnz, 0, 0, 0.0, 0.0, 0.0, m, 1.0, 1.0)
+    mean = float(lengths.mean())
+    std = float(lengths.std())
+    max_len = int(lengths.max())
+    return RowStats(
+        rows=m,
+        cols=n,
+        nnz=nnz,
+        min_len=int(lengths.min()),
+        max_len=max_len,
+        mean_len=mean,
+        std_len=std,
+        cv=std / mean if mean else 0.0,
+        empty_rows=int(np.count_nonzero(lengths == 0)),
+        ell_padding=m * max_len / nnz,
+        sell_padding=sell_padded_entries(lengths, slice_size, sigma) / nnz,
+    )
+
+
+def choose_format(
+    a: CSRMatrix,
+    slice_size: int = DEFAULT_SLICE_SIZE,
+    sigma: int = DEFAULT_SIGMA,
+) -> str:
+    """Deterministic rule table: pick ``csr`` / ``ell`` / ``sell``.
+
+    A pure function of the sparsity pattern (see the module docstring's
+    rule table), so repeated calls on the same matrix always agree.
+    """
+    s = row_stats(a, slice_size, sigma)
+    if s.nnz == 0 or s.rows < slice_size:
+        return "csr"  # degenerate or too small for padded layouts to pay
+    if s.max_len <= ELL_MAX_WIDTH and s.ell_padding <= ELL_MAX_PADDING:
+        return "ell"
+    if s.sell_padding <= SELL_MAX_PADDING:
+        return "sell"
+    return "csr"
+
+
+class SpmvEngine:
+    """Format-selecting SpMV front end over a CSR matrix.
+
+    Parameters
+    ----------
+    a : CSRMatrix
+        The source matrix (kept as the ``csr`` attribute; non-matvec
+        operator queries delegate to it).
+    format : {"auto", "csr", "ell", "sell"}, default "auto"
+        ``auto`` applies :func:`choose_format`; anything else forces
+        the named storage format.
+    slice_size, sigma : int
+        SELL-C-σ construction parameters (see
+        :class:`~repro.sparse.sell.SELLMatrix`).
+
+    Notes
+    -----
+    The engine reads ``a.tracer`` on every matvec, so assigning a tracer
+    to the wrapped CSR matrix (the bench harness does this) also traces
+    the engine's kernel.
+    """
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        format: str = "auto",
+        slice_size: int = DEFAULT_SLICE_SIZE,
+        sigma: int = DEFAULT_SIGMA,
+    ) -> None:
+        if not isinstance(a, CSRMatrix):
+            raise TypeError(
+                "SpmvEngine wraps a CSRMatrix; wrap fault injectors and other "
+                "operator decorators around the engine, not inside it"
+            )
+        if format not in SPMV_FORMATS:
+            raise ValueError(
+                f"unknown SpMV format {format!r}; expected one of {SPMV_FORMATS}"
+            )
+        self.csr = a
+        self.requested_format = format
+        self.slice_size = int(slice_size)
+        self.sigma = int(sigma)
+        resolved = choose_format(a, slice_size, sigma) if format == "auto" else format
+        self.resolved_format = resolved
+        if resolved == "ell":
+            self.impl = ELLMatrix.from_csr(a)
+        elif resolved == "sell":
+            self.impl = SELLMatrix.from_csr(a, slice_size, sigma)
+        else:
+            self.impl = a
+
+    # -- operator interface -------------------------------------------
+
+    @property
+    def shape(self) -> "tuple[int, int]":
+        return self.csr.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    @property
+    def n(self) -> int:
+        return self.csr.shape[0]
+
+    @property
+    def tracer(self):
+        return self.csr.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.csr.tracer = value
+
+    @property
+    def counter(self):
+        """The active kernel's :class:`~repro.sparse.csr.SpmvCounter`."""
+        return self.impl.counter
+
+    @property
+    def padded_entries(self) -> int:
+        """Stored slots of the selected layout (``nnz`` for CSR)."""
+        if self.impl is self.csr:
+            return self.csr.nnz
+        return self.impl.padded_entries
+
+    @property
+    def padding_ratio(self) -> float:
+        """Padded slots per nonzero of the selected layout."""
+        if self.impl is self.csr:
+            return 1.0
+        return self.impl.padding_ratio
+
+    def stats(self) -> RowStats:
+        """The row statistics the selection was based on."""
+        return row_stats(self.csr, self.slice_size, self.sigma)
+
+    def matvec(self, x: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+        """y = A @ x through the selected format's kernel."""
+        impl = self.impl
+        if impl is not self.csr:
+            impl.tracer = self.csr.tracer  # follow late tracer assignment
+        return impl.matvec(x, out=out)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """x = A.T @ y through the selected format's kernel."""
+        impl = self.impl
+        if impl is not self.csr:
+            impl.tracer = self.csr.tracer
+        return impl.rmatvec(y)
+
+    # -- CSR-only queries delegate to the source matrix ----------------
+
+    def diagonal(self) -> np.ndarray:
+        return self.csr.diagonal()
+
+    def row_norms(self, ord: float = np.inf) -> np.ndarray:
+        return self.csr.row_norms(ord)
+
+    def to_dense(self) -> np.ndarray:
+        return self.csr.to_dense()
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SpmvEngine {self.requested_format}->{self.resolved_format} "
+            f"{self.shape[0]}x{self.shape[1]} nnz={self.nnz} "
+            f"padding={self.padding_ratio:.2f}x>"
+        )

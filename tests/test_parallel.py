@@ -93,6 +93,11 @@ def _strip_nondeterministic(doc):
     for entry in doc["entries"]:
         entry = dict(entry)
         entry.pop("wall_seconds", None)
+        entry["spmv"] = {
+            k: v
+            for k, v in entry["spmv"].items()
+            if k not in ("wall_seconds", "csr_wall_seconds", "speedup_vs_csr")
+        }
         entry["phases"] = {
             phase: {"modeled_seconds": parts["modeled_seconds"]}
             for phase, parts in entry["phases"].items()
