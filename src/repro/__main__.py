@@ -69,7 +69,12 @@ def _cmd_solve(args) -> int:
               f"(padding {a.padding_ratio:.2f}x)")
     solver_cls = FlexibleGmres if args.solver == "fgmres" else CbGmres
     solver = solver_cls(
-        a, args.storage, m=args.restart, max_iter=args.max_iter, preconditioner=prec
+        a,
+        args.storage,
+        m=args.restart,
+        max_iter=args.max_iter,
+        preconditioner=prec,
+        basis_mode=args.basis_mode,
     )
     res = solver.solve(p.b, target)
     status = "converged" if res.converged else ("stalled" if res.stalled else "hit cap")
@@ -78,6 +83,9 @@ def _cmd_solve(args) -> int:
           f"({res.stats.restarts} restarts)")
     print(f"  final RRN {res.final_rrn:.3e} (target {target:.1e})")
     print(f"  basis footprint {res.stats.bits_per_value:.1f} bits/value")
+    print(f"  basis mode {res.stats.basis_mode} "
+          f"(peak float64 working set {res.stats.basis_peak_float64_bytes} bytes, "
+          f"tile {res.stats.basis_tile_elems} elems)")
     t = GmresTimingModel().time_result(res)
     print(f"  modeled H100 time {t.total_seconds * 1e3:.2f} ms "
           f"(spmv {t.spmv_seconds*1e3:.2f}, basis reads {t.basis_read_seconds*1e3:.2f}, "
@@ -270,6 +278,7 @@ def _cmd_bench(args) -> int:
             max_iter=args.max_iter,
             jobs=args.jobs,
             spmv_format=args.spmv_format,
+            basis_mode=args.basis_mode,
         )
     except (KeyError, ValueError, WorkerCrashError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -327,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spmv-format", default="auto",
                    choices=["auto", "csr", "ell", "sell"],
                    help="SpMV storage format (auto = structure-driven selection)")
+    p.add_argument("--basis-mode", default="cached",
+                   choices=["cached", "streaming"],
+                   help="Krylov-basis working-set mode: cached keeps a dense "
+                        "float64 mirror; streaming decodes compressed tiles "
+                        "on the fly (O(tile) instead of O(n*m) float64)")
 
     p = sub.add_parser("compress", help="evaluate a compressor on data")
     p.add_argument("--format", default="frsz2_32")
@@ -396,6 +410,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "csr", "ell", "sell"],
                    help="SpMV engine format for every grid cell "
                         "(auto = structure-driven selection per matrix)")
+    p.add_argument("--basis-mode", default="cached",
+                   choices=["cached", "streaming"],
+                   help="basis mode of the primary traced solve (the "
+                        "per-entry basis block always compares both modes)")
     p.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"), default=None,
                    help="diff two bench files; exit 1 on regressions")
     p.add_argument("--tolerance", type=float, default=0.05,

@@ -38,18 +38,22 @@ class TrafficCounter:
     bytes_written: int = 0
     reads: int = 0
     writes: int = 0
+    #: partial (tile-granular) reads; their bytes land in ``bytes_read``
+    tile_reads: int = 0
 
     def reset(self) -> None:
         self.bytes_read = 0
         self.bytes_written = 0
         self.reads = 0
         self.writes = 0
+        self.tile_reads = 0
 
     def merge(self, other: "TrafficCounter") -> None:
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.reads += other.reads
         self.writes += other.writes
+        self.tile_reads += other.tile_reads
 
 
 class VectorAccessor(abc.ABC):
@@ -83,6 +87,81 @@ class VectorAccessor(abc.ABC):
     @abc.abstractmethod
     def stored_nbytes(self) -> int:
         """Bytes this vector occupies in (simulated) device memory."""
+
+    def clear(self) -> None:
+        """Reset the stored content to the initial all-zero state.
+
+        Unlike :meth:`write`, clearing is pure bookkeeping: it moves no
+        simulated memory traffic (a GPU solver reuses the allocation
+        across restarts without touching the old bits) and therefore
+        records nothing in :attr:`traffic`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement clear()"
+        )
+
+    # -- tile interface (fused-kernel streaming) ----------------------------
+
+    @property
+    def tile_granularity(self) -> int:
+        """Smallest element run the format can decode independently.
+
+        Tile boundaries handed to :meth:`read_tile` should be multiples
+        of this (FRSZ2 decodes whole blocks; dense formats any slice).
+        """
+        return 1
+
+    def _check_tile(self, i0: int, i1: int) -> "tuple[int, int]":
+        i0, i1 = int(i0), int(i1)
+        if not 0 <= i0 <= i1 <= self.n:
+            raise IndexError(
+                f"tile [{i0}, {i1}) out of range for length-{self.n} vector"
+            )
+        return i0, i1
+
+    def tile_stored_nbytes(self, i0: int, i1: int) -> int:
+        """Stored bytes a ``[i0, i1)`` tile read moves (format-specific)."""
+        i0, i1 = self._check_tile(i0, i1)
+        if self.n == 0:
+            return 0
+        return (self.stored_nbytes() * (i1 - i0)) // self.n
+
+    def _record_tile_read(self, i0: int, i1: int) -> None:
+        nbytes = self.tile_stored_nbytes(i0, i1)
+        self.traffic.bytes_read += nbytes
+        self.traffic.tile_reads += 1
+        if self.tracer.enabled:
+            self.tracer.count("accessor.tile_reads")
+            self.tracer.count("accessor.bytes_read", nbytes)
+
+    def read_tile(self, i0: int, i1: int) -> np.ndarray:
+        """Decode the element range ``[i0, i1)`` to float64.
+
+        The generic fallback decodes the whole vector through
+        :meth:`read` (and pays its full-read accounting — a format
+        without random access cannot seek); formats with seekable
+        storage override this with a partial decode billed via
+        :meth:`_record_tile_read`.  Either way the returned values are
+        bit-identical to ``self.read()[i0:i1]``.
+        """
+        i0, i1 = self._check_tile(i0, i1)
+        return self.read()[i0:i1]
+
+    def read_into(self, out: np.ndarray) -> np.ndarray:
+        """Decode the full vector into a caller-owned buffer.
+
+        Equivalent to ``out[:] = self.read()`` (and that is the generic
+        fallback, so wrappers that intercept :meth:`read` — fault
+        injection — keep working); formats with a bulk decode override
+        this to skip the intermediate allocation and any decoded-block
+        cache churn.
+        """
+        if out.shape != (self.n,) or out.dtype != np.float64:
+            raise ValueError(
+                f"out must be a float64 array of shape ({self.n},)"
+            )
+        out[:] = self.read()
+        return out
 
     # -- derived helpers ----------------------------------------------------
 

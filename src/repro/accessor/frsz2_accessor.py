@@ -28,7 +28,12 @@ import numpy as np
 from ..core import FRSZ2, Frsz2Compressed
 from .base import VectorAccessor
 
-__all__ = ["CacheStats", "Frsz2Accessor", "DEFAULT_CACHE_BLOCKS"]
+__all__ = [
+    "CacheStats",
+    "Frsz2Accessor",
+    "DEFAULT_CACHE_BLOCKS",
+    "read_frsz2_tiles",
+]
 
 #: default decoded-block cache capacity (blocks); 0 disables the cache
 DEFAULT_CACHE_BLOCKS = 256
@@ -223,6 +228,65 @@ class Frsz2Accessor(VectorAccessor):
         self._cache_store(block, values)
         return values
 
+    def read_into(self, out: np.ndarray) -> np.ndarray:
+        """Bulk-decode the full vector into ``out``.
+
+        One vectorized codec pass, no intermediate allocation and no
+        decoded-block cache traffic — a full sequential decode would
+        only thrash the LRU (see :meth:`read`'s scan bypass).
+        Bit-identical to :meth:`read`.
+        """
+        if out.shape != (self.n,) or out.dtype != np.float64:
+            raise ValueError(
+                f"out must be a float64 array of shape ({self.n},)"
+            )
+        self._record_read()
+        if self._compressed is None:
+            out[:] = 0.0
+            return out
+        return self.codec.decompress(self._compressed, out=out)
+
+    @property
+    def tile_granularity(self) -> int:
+        """FRSZ2 decodes whole blocks: tiles should align to ``BS``."""
+        return self.codec.block_size
+
+    def tile_stored_nbytes(self, i0: int, i1: int) -> int:
+        i0, i1 = self._check_tile(i0, i1)
+        if i0 == i1:
+            return 0
+        layout = self.codec.layout_for(self.n)
+        bs = layout.block_size
+        blocks = (i1 - 1) // bs - i0 // bs + 1
+        # per-block stored bytes: value words + one int32 exponent
+        return blocks * (layout.words_per_block * 4 + 4)
+
+    def read_tile(self, i0: int, i1: int) -> np.ndarray:
+        """Decode the blocks spanning ``[i0, i1)`` (paper Section IV-B).
+
+        The fused kernels stream tiles sequentially, so decoded tiles
+        bypass the LRU cache (caching a scan evicts everything useful);
+        bit-identical to ``self.read()[i0:i1]``.
+        """
+        i0, i1 = self._check_tile(i0, i1)
+        self._record_tile_read(i0, i1)
+        if i0 == i1:
+            return np.zeros(0)
+        if self._compressed is None:
+            return np.zeros(i1 - i0)
+        comp = self._compressed
+        bs = comp.layout.block_size
+        b0, b1 = i0 // bs, (i1 - 1) // bs + 1
+        values = np.concatenate(
+            self.codec.decompress_blocks(comp, range(b0, b1))
+        )
+        return values[i0 - b0 * bs:i1 - b0 * bs]
+
+    def clear(self) -> None:
+        """Drop the stored payload and every cached decoded block."""
+        self._compressed = None
+        self.invalidate_cache()
+
     def stored_nbytes(self) -> int:
         return self.codec.layout_for(self.n).total_nbytes
 
@@ -234,3 +298,47 @@ class Frsz2Accessor(VectorAccessor):
         :meth:`invalidate_cache` afterwards.
         """
         return self._compressed
+
+
+def read_frsz2_tiles(accessors, i0: int, i1: int, out: np.ndarray) -> bool:
+    """Decode one tile across several FRSZ2 accessors in a single pass.
+
+    The Python analog of the paper's fused warp decode: when every
+    accessor is a plain :class:`Frsz2Accessor` over the same layout with
+    a written payload, the tile's blocks of **all** vectors decode in one
+    :meth:`~repro.core.frsz2.FRSZ2.decompress_blocks_batch` call and land
+    in ``out[row, :i1 - i0]``.  Each accessor's tile read is billed
+    individually, exactly like a per-accessor
+    :meth:`~Frsz2Accessor.read_tile` loop — which is also the bitwise
+    fallback this fast path is exchangeable with.
+
+    Returns
+    -------
+    bool
+        ``True`` if the batched decode ran; ``False`` when any accessor
+        is ineligible (wrapped, unwritten, or layout mismatch) and the
+        caller should fall back to per-accessor ``read_tile``.
+    """
+    accessors = list(accessors)
+    if not accessors:
+        return False
+    for acc in accessors:
+        if not isinstance(acc, Frsz2Accessor) or acc._compressed is None:
+            return False
+    first = accessors[0]._compressed.layout
+    if any(acc._compressed.layout != first for acc in accessors[1:]):
+        return False
+    i0, i1 = accessors[0]._check_tile(i0, i1)
+    if i0 == i1:
+        return True
+    codec = accessors[0].codec
+    bs = first.block_size
+    b0, b1 = i0 // bs, (i1 - 1) // bs + 1
+    tiles = codec.decompress_blocks_batch(
+        [acc._compressed for acc in accessors], range(b0, b1)
+    )
+    lo = i0 - b0 * bs
+    for row, (acc, values) in enumerate(zip(accessors, tiles)):
+        acc._record_tile_read(i0, i1)
+        out[row, :i1 - i0] = values[lo:lo + (i1 - i0)]
+    return True

@@ -34,6 +34,15 @@ class PrecisionAccessor(VectorAccessor):
         self._record_read()
         return self._data.astype(np.float64)
 
+    def read_tile(self, i0: int, i1: int) -> np.ndarray:
+        # dense storage seeks for free: decode only the requested range
+        i0, i1 = self._check_tile(i0, i1)
+        self._record_tile_read(i0, i1)
+        return self._data[i0:i1].astype(np.float64)
+
+    def clear(self) -> None:
+        self._data = np.zeros(self.n, dtype=self.storage_dtype)
+
     def stored_nbytes(self) -> int:
         return self.n * np.dtype(self.storage_dtype).itemsize
 

@@ -42,5 +42,16 @@ class RoundTripAccessor(VectorAccessor):
         self._record_read()
         return self._data.copy()
 
+    def read_tile(self, i0: int, i1: int) -> np.ndarray:
+        # the lossy reconstruction is kept dense, so tiles slice freely;
+        # tile bytes are pro-rated from the actual compressed size
+        i0, i1 = self._check_tile(i0, i1)
+        self._record_tile_read(i0, i1)
+        return self._data[i0:i1].copy()
+
+    def clear(self) -> None:
+        self._data = np.zeros(self.n)
+        self._stored_nbytes = self.n * 8
+
     def stored_nbytes(self) -> int:
         return self._stored_nbytes

@@ -26,10 +26,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..gpu.device import DeviceSpec, H100_PCIE
 from ..gpu.timing import GmresTimingModel
 from ..observe import NULL_TRACER, Tracer
 from ..parallel import run_grid
+from ..solvers.basis import BASIS_MODES
 from ..solvers.gmres import CbGmres
 from ..solvers.problems import make_problem
 from ..sparse.engine import SPMV_FORMATS
@@ -39,6 +42,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_VERSION",
     "BENCH_PHASES",
+    "BENCH_BASIS_MODES",
     "DEFAULT_BENCH_STORAGES",
     "DEFAULT_BENCH_MATRICES",
     "Regression",
@@ -53,8 +57,10 @@ __all__ = [
 #: schema identifier embedded in every bench file
 BENCH_SCHEMA = "repro.bench.gmres"
 #: bump on any incompatible change to the document layout
-#: (v2: top-level ``spmv_format`` + per-entry ``spmv`` block)
-BENCH_SCHEMA_VERSION = 2
+#: (v2: top-level ``spmv_format`` + per-entry ``spmv`` block;
+#: v3: top-level ``basis_mode`` + per-entry ``basis`` block with
+#: per-mode wall time / peak float64 bytes and modeled fused-kernel time)
+BENCH_SCHEMA_VERSION = 3
 #: per-phase attribution keys (observe span names + the remainder)
 BENCH_PHASES = (
     "spmv",
@@ -64,6 +70,8 @@ BENCH_PHASES = (
     "update",
     "other",
 )
+#: basis modes every entry's ``basis.modes`` block must cover
+BENCH_BASIS_MODES = BASIS_MODES
 #: the storage grid the perf trajectory tracks (acceptance floor)
 DEFAULT_BENCH_STORAGES = ("float64", "float32", "frsz2_32")
 #: small-but-varied default matrix grid (fast at smoke scale)
@@ -112,6 +120,7 @@ def run_bench_entry(
     target_rrn: Optional[float] = None,
     device: DeviceSpec = H100_PCIE,
     spmv_format: str = "auto",
+    basis_mode: str = "cached",
 ) -> dict:
     """Run one traced solve and return its bench entry.
 
@@ -133,22 +142,31 @@ def run_bench_entry(
         SpMV engine format (``auto`` / ``csr`` / ``ell`` / ``sell``);
         the entry's ``spmv`` block records the requested and resolved
         format plus a measured matvec speedup over the CSR kernel.
+    basis_mode : str, default "cached"
+        Basis kernel structure of the primary traced solve (``cached``
+        or ``streaming``).  Both modes additionally run once untraced
+        for the entry's ``basis.modes`` wall/peak-memory comparison and
+        its ``bit_identical_modes`` equality check.
 
     Returns
     -------
     dict
         One ``entries[]`` element of the bench schema: deterministic
         solve metrics, per-phase wall/modeled seconds, the ``spmv``
-        format/speedup block, and the tracer's counter snapshot.
-        Top-level callable for the ``--jobs`` worker pool (must stay
-        picklable).
+        format/speedup block, the ``basis`` fused-kernel block, and the
+        tracer's counter snapshot.  Top-level callable for the
+        ``--jobs`` worker pool (must stay picklable).
     """
+    if basis_mode not in BASIS_MODES:
+        raise ValueError(
+            f"unknown basis_mode {basis_mode!r}; expected one of {BASIS_MODES}"
+        )
     problem = make_problem(matrix, scale, target_rrn=target_rrn)
     tracer = Tracer()
     problem.a.tracer = tracer
     solver = CbGmres(
         problem.a, storage, m=m, max_iter=max_iter,
-        spmv_format=spmv_format, tracer=tracer,
+        spmv_format=spmv_format, basis_mode=basis_mode, tracer=tracer,
     )
     t0 = time.perf_counter()
     result = solver.solve(problem.b, problem.target_rrn)
@@ -201,6 +219,36 @@ def run_bench_entry(
         problem.a.tracer = tracer
     tracer.counters["spmv.padding_ratio"] = padding_ratio
 
+    # per-mode comparison: run both basis modes untraced (spans would
+    # perturb the wall clocks) on the same operator, record wall time
+    # and peak float64 working set, and check the modes' outputs for
+    # exact equality — the determinism contract of the fused kernels
+    mode_blocks: Dict[str, dict] = {}
+    mode_results: Dict[str, object] = {}
+    problem.a.tracer = NULL_TRACER
+    try:
+        for mode in BENCH_BASIS_MODES:
+            mode_solver = CbGmres(
+                engine, storage, m=m, max_iter=max_iter, basis_mode=mode
+            )
+            mt0 = time.perf_counter()
+            mode_result = mode_solver.solve(problem.b, problem.target_rrn)
+            mode_blocks[mode] = {
+                "wall_seconds": float(time.perf_counter() - mt0),
+                "peak_float64_bytes": int(
+                    mode_result.stats.basis_peak_float64_bytes
+                ),
+            }
+            mode_results[mode] = mode_result
+    finally:
+        problem.a.tracer = tracer
+    rc, rs = mode_results["cached"], mode_results["streaming"]
+    bit_identical = bool(
+        rc.iterations == rs.iterations
+        and np.array_equal(rc.x, rs.x)
+        and [s.rrn for s in rc.history] == [s.rrn for s in rs.history]
+    )
+
     return {
         "matrix": matrix,
         "storage": storage,
@@ -223,6 +271,21 @@ def run_bench_entry(
             "wall_seconds": float(spmv_wall),
             "csr_wall_seconds": float(csr_wall),
             "speedup_vs_csr": float(speedup),
+        },
+        "basis": {
+            "mode": str(basis_mode),
+            "tile_elems": int(result.stats.basis_tile_elems),
+            "peak_float64_bytes": int(result.stats.basis_peak_float64_bytes),
+            "stored_bytes_per_vector": int(
+                round(result.stats.bits_per_value * result.stats.n / 8)
+            ),
+            "modeled_fused_seconds": float(
+                GmresTimingModel(device).fused_kernel_seconds(
+                    result.stats, storage
+                )
+            ),
+            "bit_identical_modes": bit_identical,
+            "modes": mode_blocks,
         },
         "phases": {
             phase: {
@@ -248,6 +311,7 @@ def run_bench(
     device: DeviceSpec = H100_PCIE,
     jobs: int = 1,
     spmv_format: str = "auto",
+    basis_mode: str = "cached",
 ) -> dict:
     """Run the full grid and return the schema-versioned bench document.
 
@@ -273,10 +337,18 @@ def run_bench(
         SpMV engine format applied to every cell (``--spmv-format``);
         ``auto`` selections are deterministic per matrix, so the grid's
         resolved formats are part of the reproducible trajectory.
+    basis_mode : str, default "cached"
+        Basis kernel structure of every cell's primary traced solve
+        (``--basis-mode``); each entry's ``basis.modes`` block always
+        times *both* modes regardless.
     """
     if spmv_format not in SPMV_FORMATS:
         raise ValueError(
             f"unknown SpMV format {spmv_format!r}; expected one of {SPMV_FORMATS}"
+        )
+    if basis_mode not in BASIS_MODES:
+        raise ValueError(
+            f"unknown basis_mode {basis_mode!r}; expected one of {BASIS_MODES}"
         )
     scale = resolve_scale(scale)
     matrices = list(matrices) if matrices else list(DEFAULT_BENCH_MATRICES)
@@ -292,7 +364,7 @@ def run_bench(
         [
             dict(matrix=matrix, storage=storage, scale=scale, m=m,
                  max_iter=max_iter, target_rrn=target_rrn, device=device,
-                 spmv_format=spmv_format)
+                 spmv_format=spmv_format, basis_mode=basis_mode)
             for matrix, storage in grid
         ],
         jobs=jobs,
@@ -307,6 +379,7 @@ def run_bench(
         "restart": int(m),
         "max_iter": int(max_iter),
         "spmv_format": str(spmv_format),
+        "basis_mode": str(basis_mode),
         "matrices": matrices,
         "storages": storages,
         "entries": entries,
@@ -341,11 +414,15 @@ def validate_bench(doc: dict) -> None:
     _expect(doc.get("schema_version") == BENCH_SCHEMA_VERSION,
             "$.schema_version",
             f"expected {BENCH_SCHEMA_VERSION}, got {doc.get('schema_version')!r}")
-    for key in ("created", "device", "scale", "spmv_format"):
+    for key in ("created", "device", "scale", "spmv_format", "basis_mode"):
         _expect(isinstance(doc.get(key), str), f"$.{key}", "expected a string")
     _expect(doc["spmv_format"] in ("auto", "csr", "ell", "sell"),
             "$.spmv_format",
             f"expected one of auto/csr/ell/sell, got {doc['spmv_format']!r}")
+    _expect(doc["basis_mode"] in BENCH_BASIS_MODES,
+            "$.basis_mode",
+            f"expected one of {'/'.join(BENCH_BASIS_MODES)}, "
+            f"got {doc['basis_mode']!r}")
     for key in ("restart", "max_iter"):
         _expect(isinstance(doc.get(key), int) and doc[key] > 0,
                 f"$.{key}", "expected a positive integer")
@@ -400,6 +477,45 @@ def validate_bench(doc: dict) -> None:
         for key in ("padding_ratio", "wall_seconds", "csr_wall_seconds",
                     "speedup_vs_csr"):
             _expect_number(spmv[key], f"{where}.spmv.{key}")
+        basis = entry.get("basis")
+        _expect(isinstance(basis, dict), f"{where}.basis", "expected an object")
+        _expect(
+            set(basis) == {"mode", "tile_elems", "peak_float64_bytes",
+                           "stored_bytes_per_vector", "modeled_fused_seconds",
+                           "bit_identical_modes", "modes"},
+            f"{where}.basis",
+            f"unexpected basis block keys {sorted(basis)}",
+        )
+        _expect(basis["mode"] in BENCH_BASIS_MODES, f"{where}.basis.mode",
+                f"expected one of {'/'.join(BENCH_BASIS_MODES)}, "
+                f"got {basis['mode']!r}")
+        for key in ("tile_elems", "peak_float64_bytes",
+                    "stored_bytes_per_vector"):
+            _expect(
+                isinstance(basis[key], int) and not isinstance(basis[key], bool),
+                f"{where}.basis.{key}", "expected an integer",
+            )
+        _expect_number(basis["modeled_fused_seconds"],
+                       f"{where}.basis.modeled_fused_seconds")
+        _expect(isinstance(basis["bit_identical_modes"], bool),
+                f"{where}.basis.bit_identical_modes", "expected a boolean")
+        modes = basis["modes"]
+        _expect(isinstance(modes, dict), f"{where}.basis.modes",
+                "expected an object")
+        _expect(set(modes) == set(BENCH_BASIS_MODES), f"{where}.basis.modes",
+                f"expected exactly the modes {sorted(BENCH_BASIS_MODES)}, "
+                f"got {sorted(modes)}")
+        for mode, cell in modes.items():
+            mwhere = f"{where}.basis.modes.{mode}"
+            _expect(isinstance(cell, dict), mwhere, "expected an object")
+            _expect(set(cell) == {"wall_seconds", "peak_float64_bytes"},
+                    mwhere, "expected wall_seconds and peak_float64_bytes")
+            _expect_number(cell["wall_seconds"], f"{mwhere}.wall_seconds")
+            _expect(
+                isinstance(cell["peak_float64_bytes"], int)
+                and not isinstance(cell["peak_float64_bytes"], bool),
+                f"{mwhere}.peak_float64_bytes", "expected an integer",
+            )
         phases = entry.get("phases")
         _expect(isinstance(phases, dict), f"{where}.phases",
                 "expected an object")

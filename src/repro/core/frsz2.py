@@ -497,6 +497,77 @@ class FRSZ2:
                               first.num_blocks * len(comps))
         return [values[i * n:(i + 1) * n] for i in range(len(comps))]
 
+    def decompress_blocks_batch(
+        self, comps: "Sequence[Frsz2Compressed]", blocks: Sequence[int]
+    ) -> "List[np.ndarray]":
+        """Decompress the same blocks from several containers in one pass.
+
+        This is the fused-kernel tile decode (paper Fig. 1 steps 4/18):
+        one *tile* — a run of blocks — is decoded across **all** ``j``
+        stored Krylov vectors at once, with the bit-assembly decode
+        (steps 2-4) running in a single vectorized pass over every
+        container's fields.  Each returned array is bit-identical to
+        concatenating :meth:`decompress_blocks` of the same container.
+
+        Parameters
+        ----------
+        comps : sequence of Frsz2Compressed
+            Same-layout containers (mixed layouts fall back to the
+            per-container bulk path).
+        blocks : sequence of int
+            Block indices in ``[0, num_blocks)``, shared by all
+            containers; order and duplicates are preserved.
+
+        Returns
+        -------
+        list of ndarray, dtype float64
+            ``out[i]`` holds the concatenated values of ``blocks`` from
+            ``comps[i]`` (a trailing partial block contributes only its
+            valid values).
+        """
+        comps = list(comps)
+        if not comps:
+            return []
+        first = comps[0].layout
+        if any(c.layout != first for c in comps[1:]):
+            return [
+                np.concatenate(self.decompress_blocks(c, blocks))
+                if len(blocks)
+                else np.zeros(0)
+                for c in comps
+            ]
+        idx = np.asarray(blocks, dtype=np.int64).reshape(-1)
+        if idx.size == 0:
+            return [np.zeros(0) for _ in comps]
+        nb = first.num_blocks
+        if idx.min() < 0 or idx.max() >= nb:
+            raise IndexError(
+                f"block index out of range [0, {nb}) in {list(blocks)!r}"
+            )
+        bs = first.block_size
+        grid = idx[:, None] * bs + np.arange(bs, dtype=np.int64)[None, :]
+        valid = grid < first.n
+        flat = grid.ravel()[valid.ravel()]
+        fields = np.concatenate([self._read_fields(c, flat) for c in comps])
+        e_block = flat // bs
+        e_max = np.concatenate(
+            [c.exponents.astype(np.int64)[e_block] for c in comps]
+        )
+        values = self._decode_fields(fields, e_max)
+        m = int(flat.size)
+        out = [values[i * m:(i + 1) * m] for i in range(len(comps))]
+        if self.tracer.enabled:
+            block_nbytes = first.words_per_block * 4 + 4
+            unique_blocks = int(np.unique(idx).size)
+            self.tracer.count("frsz2.decompress_blocks_batch.calls")
+            self.tracer.count("frsz2.decompress_blocks_batch.vectors", len(comps))
+            self.tracer.count("frsz2.decompress_blocks.blocks",
+                              unique_blocks * len(comps))
+            self.tracer.count("frsz2.decompress_blocks.values", m * len(comps))
+            self.tracer.count("frsz2.decompress_blocks.bytes",
+                              unique_blocks * block_nbytes * len(comps))
+        return out
+
     # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------

@@ -1,0 +1,27 @@
+"""Fused compressed-basis kernels (tile-streaming ``V^T w`` / ``V y``)."""
+
+from .kernels import (
+    DEFAULT_TILE_ELEMS,
+    CachedTileReader,
+    FusedOpLog,
+    StreamingTileReader,
+    TileReader,
+    axpy_fused,
+    combine_fused,
+    dot_basis_fused,
+    norm_fused,
+    tile_grid,
+)
+
+__all__ = [
+    "DEFAULT_TILE_ELEMS",
+    "CachedTileReader",
+    "FusedOpLog",
+    "StreamingTileReader",
+    "TileReader",
+    "axpy_fused",
+    "combine_fused",
+    "dot_basis_fused",
+    "norm_fused",
+    "tile_grid",
+]

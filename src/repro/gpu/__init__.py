@@ -13,6 +13,8 @@ from .kernels import (
     FormatCost,
     KernelCost,
     format_cost,
+    fused_axpy_cost,
+    fused_dot_cost,
     read_kernel_cost,
     spmv_kernel_cost,
 )
@@ -42,6 +44,8 @@ __all__ = [
     "format_cost",
     "read_kernel_cost",
     "spmv_kernel_cost",
+    "fused_dot_cost",
+    "fused_axpy_cost",
     "RooflinePoint",
     "SpmvRooflinePoint",
     "DEFAULT_FORMATS",

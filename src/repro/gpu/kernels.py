@@ -24,6 +24,8 @@ __all__ = [
     "KernelCost",
     "read_kernel_cost",
     "spmv_kernel_cost",
+    "fused_dot_cost",
+    "fused_axpy_cost",
     "FORMATS",
 ]
 
@@ -143,6 +145,43 @@ def read_kernel_cost(fmt: FormatCost, n: int, arithmetic_intensity: float) -> Ke
         bytes_moved=n * fmt.stored_bits / 8.0,
         fp64_flops=n * arithmetic_intensity,
         int_ops=n * fmt.decompress_ops,
+        aligned=fmt.aligned,
+        bw_derate=fmt.bandwidth_derate,
+    )
+
+
+def fused_dot_cost(fmt: FormatCost, n: int, j: float) -> KernelCost:
+    """Fused ``V_j^T w`` kernel: decompress-in-register dot products.
+
+    The paper's Fig. 4 argument made concrete: the kernel streams the
+    ``j`` stored basis vectors at their *compressed* width (plus ``w``
+    once in float64 and the ``j`` partial results), runs 2 flops per
+    decoded value, and pays the format's decode instructions in the INT
+    pipe — where they hide under the memory latency ("46 spare
+    instructions").  The kernel is bandwidth-bound on compressed
+    traffic, so frsz2_32 moves half the bytes the float64 basis would.
+    """
+    return KernelCost(
+        bytes_moved=j * n * fmt.stored_bits / 8.0 + n * 8 + j * 8,
+        fp64_flops=2 * j * n,
+        int_ops=j * n * fmt.decompress_ops,
+        aligned=fmt.aligned,
+        bw_derate=fmt.bandwidth_derate,
+    )
+
+
+def fused_axpy_cost(fmt: FormatCost, n: int, j: float) -> KernelCost:
+    """Fused ``w -= V_j y`` (or ``V_j y``) kernel.
+
+    Streams the ``j`` stored vectors compressed and ``w`` twice
+    (read-modify-write), with the ``y`` coefficients register-resident;
+    2 flops per decoded value and the decode instructions on the INT
+    pipe, exactly like :func:`fused_dot_cost`.
+    """
+    return KernelCost(
+        bytes_moved=j * n * fmt.stored_bits / 8.0 + 2 * n * 8 + j * 8,
+        fp64_flops=2 * j * n,
+        int_ops=j * n * fmt.decompress_ops,
         aligned=fmt.aligned,
         bw_derate=fmt.bandwidth_derate,
     )

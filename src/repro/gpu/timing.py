@@ -19,7 +19,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Sequence
 
 from .device import DeviceSpec, H100_PCIE
-from .kernels import KernelCost, format_cost, spmv_kernel_cost
+from .kernels import (
+    KernelCost,
+    format_cost,
+    fused_axpy_cost,
+    fused_dot_cost,
+    spmv_kernel_cost,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (solvers uses gpu)
     from ..solvers.gmres import GmresResult, SolveStats
@@ -141,6 +147,39 @@ class GmresTimingModel:
             "update": update_vec,
             "other": residual_vec,
         }
+
+    def fused_kernel_seconds(self, stats: "SolveStats", storage: str) -> float:
+        """Predicted seconds of the *fused* basis kernels of a solve.
+
+        Prices the logged fused-kernel work (``SolveStats.fused_*``)
+        with :func:`~repro.gpu.kernels.fused_dot_cost` /
+        :func:`~repro.gpu.kernels.fused_axpy_cost`, i.e. reading the
+        basis at its compressed width instead of the float64 width the
+        materialized structure streams.  Each kind is modeled as
+        ``calls`` launches of an average-width (``vectors / calls``)
+        kernel — the roofline is near-linear in the vector count, so the
+        average-width launch is an accurate stand-in for the exact
+        per-``j`` sequence.
+        """
+        fmt = format_cost(self._model_storage_name(storage))
+        n = stats.n
+        d = self.device
+        total = 0.0
+        dot_calls = getattr(stats, "fused_dot_calls", 0)
+        if dot_calls:
+            avg_j = getattr(stats, "fused_dot_vectors", 0) / dot_calls
+            total += dot_calls * fused_dot_cost(fmt, n, avg_j).time_on(d)
+        axpy_calls = getattr(stats, "fused_axpy_calls", 0) + getattr(
+            stats, "fused_combine_calls", 0
+        )
+        if axpy_calls:
+            axpy_vectors = getattr(stats, "fused_axpy_vectors", 0) + getattr(
+                stats, "fused_combine_vectors", 0
+            )
+            total += axpy_calls * fused_axpy_cost(
+                fmt, n, axpy_vectors / axpy_calls
+            ).time_on(d)
+        return total
 
     def time_result(self, result: "GmresResult") -> SolveTiming:
         """Predicted runtime for a finished :class:`GmresResult`."""

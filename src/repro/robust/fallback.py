@@ -152,6 +152,8 @@ class RobustCbGmres:
         preconditioner: Optional[Preconditioner] = None,
         orthogonalization: str = "cgs",
         spmv_format: str = "csr",
+        basis_mode: str = "cached",
+        tile_elems: Optional[int] = None,
     ) -> None:
         if spmv_format != "csr" and isinstance(a, CSRMatrix):
             a = SpmvEngine(a, format=spmv_format)
@@ -164,6 +166,8 @@ class RobustCbGmres:
         self._factory = accessor_factory
         self.preconditioner = preconditioner
         self.orthogonalization = orthogonalization
+        self.basis_mode = basis_mode
+        self.tile_elems = tile_elems
         if accessor_factory is None:
             # fail fast on unknown format names in the chain
             for storage in self.policy.chain:
@@ -196,6 +200,12 @@ class RobustCbGmres:
                 orthogonalization=self.orthogonalization,
                 recovery=True,
                 max_recoveries=self.policy.max_recoveries,
+                basis_mode=self.basis_mode,
+                **(
+                    {"tile_elems": self.tile_elems}
+                    if self.tile_elems is not None
+                    else {}
+                ),
             )
             res = solver.solve(
                 b, target_rrn, x0=x_start, record_history=record_history

@@ -192,6 +192,14 @@ class FaultyAccessor(VectorAccessor):
     def stored_nbytes(self) -> int:
         return self.inner.stored_nbytes()
 
+    def clear(self) -> None:
+        # clearing is bookkeeping, not a storage access: no fault trial
+        self.inner.clear()
+
+    @property
+    def tile_granularity(self) -> int:
+        return self.inner.tile_granularity
+
     @property
     def traffic(self):  # delegate so accounting stays on the real format
         return self.inner.traffic

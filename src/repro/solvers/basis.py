@@ -5,28 +5,74 @@ new vector is written (compressed) once and read (decompressed) by every
 later orthogonalization and by the solution update — the highlighted
 sections of the paper's Fig. 1.
 
-Decompression is deterministic, so the basis keeps a float64 cache of
-the *decompressed* vectors: numerically identical to decompress-on-read,
-but the Python solver then runs on dense BLAS-2 operations.  The traffic
-a GPU would move is accounted analytically by the timing model from the
-iteration log (:class:`repro.solvers.gmres.SolveStats`), not from this
-cache.
+Two basis modes reproduce the two kernel structures the paper compares:
+
+``cached``
+    Keeps a dense float64 view of the decompressed vectors (the
+    "materialized" structure a naive CPU port would use).  Fast in
+    NumPy, but the float64 working set is ``O(n x (m+1))`` regardless of
+    the storage format.
+``streaming``
+    Never materializes the basis: the fused kernels of
+    :mod:`repro.fused` decode one tile of compressed blocks across all
+    ``j`` vectors at a time, so the float64 working set is ``O(tile)`` —
+    the paper's in-register fusion argument, and the CB-GMRES memory
+    argument of Aliaga et al.
+
+Both modes run ``V^T w`` / ``V y`` through the *same* fused tile kernels
+(cached feeds tiles from the dense view, streaming decodes them), which
+pins the accumulation order and makes the two modes bit-identical —
+asserted across storages in the test suite.  The traffic a GPU would
+move is accounted analytically by the timing model from the iteration
+log (:class:`repro.solvers.gmres.SolveStats`), not from the cache.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from ..accessor import VectorAccessor, make_accessor
+from ..fused import (
+    DEFAULT_TILE_ELEMS,
+    CachedTileReader,
+    FusedOpLog,
+    StreamingTileReader,
+    axpy_fused,
+    combine_fused,
+    dot_basis_fused,
+    norm_fused,
+)
 from ..observe import NULL_TRACER
 
-__all__ = ["KrylovBasis"]
+__all__ = ["KrylovBasis", "BASIS_MODES"]
+
+#: supported basis modes (``--basis-mode`` on the CLI)
+BASIS_MODES = ("cached", "streaming")
 
 
 class KrylovBasis:
-    """``m+1`` Krylov vectors of length ``n`` in a reduced storage format."""
+    """``m+1`` Krylov vectors of length ``n`` in a reduced storage format.
+
+    Parameters
+    ----------
+    n, m:
+        Vector length and restart length (slots ``0..m``).
+    storage:
+        Storage-format name (see :func:`repro.accessor.make_accessor`).
+    accessor_factory:
+        Override the per-slot accessor construction.
+    tracer:
+        Optional observe-layer tracer.
+    basis_mode:
+        ``"cached"`` (dense decompressed view, the default) or
+        ``"streaming"`` (tile-streamed fused kernels, ``O(tile)``
+        float64 working set).  Bit-identical to each other.
+    tile_elems:
+        Fused-kernel tile size in elements; rounded up to the storage
+        format's decode granularity (FRSZ2: the block size ``BS``).
+    """
 
     def __init__(
         self,
@@ -35,20 +81,42 @@ class KrylovBasis:
         storage: str = "float64",
         accessor_factory: "Callable[[int], VectorAccessor] | None" = None,
         tracer=None,
+        basis_mode: str = "cached",
+        tile_elems: int = DEFAULT_TILE_ELEMS,
     ) -> None:
         if m < 1:
             raise ValueError("restart length m must be positive")
+        if basis_mode not in BASIS_MODES:
+            raise ValueError(
+                f"unknown basis_mode {basis_mode!r}; expected one of {BASIS_MODES}"
+            )
+        if tile_elems < 1:
+            raise ValueError("tile_elems must be positive")
         self.n = int(n)
         self.m = int(m)
         self.storage = storage
+        self.basis_mode = basis_mode
         self.tracer = tracer or NULL_TRACER
         factory = accessor_factory or (lambda size: make_accessor(storage, size))
         self.accessors: List[VectorAccessor] = [factory(n) for _ in range(m + 1)]
         if self.tracer.enabled:
             for acc in self.accessors:
                 acc.set_tracer(self.tracer)
-        # decompressed view of every written vector (column j = V[:, j])
-        self._cache = np.zeros((n, m + 1), order="F")
+        # Tile boundaries must land on whole storage blocks or a
+        # streaming decode could not serve them independently; the same
+        # (rounded) grid is used by the cached mode so both modes share
+        # one accumulation order.
+        gran = max(
+            int(getattr(acc, "tile_granularity", 1)) for acc in self.accessors
+        )
+        self.tile_elems = max(gran, ((int(tile_elems) + gran - 1) // gran) * gran)
+        #: fused-kernel work log (tiles, values, peak scratch bytes)
+        self.fused_log = FusedOpLog()
+        # decompressed view of every written vector (column j = V[:, j]);
+        # streaming mode drops it entirely — that is the point
+        self._cache: Optional[np.ndarray] = (
+            np.zeros((n, m + 1), order="F") if basis_mode == "cached" else None
+        )
         self._written = 0
 
     @property
@@ -61,41 +129,133 @@ class KrylovBasis:
         """Simulated device bytes of one stored basis vector."""
         return self.accessors[0].stored_nbytes()
 
+    @property
+    def peak_float64_bytes(self) -> int:
+        """Largest float64 working set this basis has held.
+
+        ``cached``: the dense ``(n, m+1)`` view, allocated up front.
+        ``streaming``: the biggest fused-kernel scratch tile so far —
+        ``O(tile x j)`` instead of ``O(n x m)``.
+        """
+        if self._cache is not None:
+            return int(self._cache.nbytes)
+        return int(self.fused_log.peak_scratch_bytes)
+
     def write_vector(self, j: int, v: np.ndarray) -> None:
-        """Compress ``v`` into slot ``j`` and refresh the decompressed view."""
+        """Compress ``v`` into slot ``j`` (and refresh the cached view)."""
         if not 0 <= j <= self.m:
             raise IndexError(f"basis slot {j} out of range [0, {self.m}]")
         acc = self.accessors[j]
         with self.tracer.span("basis_write", slot=j):
             acc.write(v)
-            # refreshing the lossy cache decompresses the vector we just
-            # wrote; it is part of the write, not a stored-basis read
-            self._cache[:, j] = acc.read()
+            if self._cache is not None:
+                # refreshing the lossy view decompresses the vector we
+                # just wrote (one bulk decode straight into the column;
+                # it is part of the write, not a stored-basis read)
+                acc.read_into(self._cache[:, j])
         self._written = max(self._written, j + 1)
 
     def vector(self, j: int) -> np.ndarray:
-        """The decompressed basis vector ``v_j`` (lossy, read-only view)."""
+        """The decompressed basis vector ``v_j`` (lossy).
+
+        Cached mode returns the dense view's column; streaming mode
+        decompresses on demand (bit-identical — decoding is
+        deterministic).  Uncounted; use :meth:`read_vector` on solver
+        hot paths so the traffic reaches the timing model.
+        """
         if j >= self._written:
             raise IndexError(f"basis slot {j} has not been written")
-        return self._cache[:, j]
+        if self._cache is not None:
+            return self._cache[:, j]
+        return self.accessors[j].read()
+
+    def read_vector(self, j: int) -> np.ndarray:
+        """``v_j`` as a *counted* stored-basis read.
+
+        Tallies one vector read (``basis.vector_reads`` /
+        ``basis.bytes_read``) exactly like :meth:`dot_basis` does per
+        vector — the accounting route for vector-at-a-time consumers
+        such as MGS, whose traffic was previously invisible to the
+        timing model.
+        """
+        with self.tracer.span("basis_read", vectors=1):
+            if self.tracer.enabled:
+                self.tracer.count("basis.vector_reads", 1)
+                self.tracer.count("basis.bytes_read", self.stored_vector_nbytes)
+            return self.vector(j)
 
     def matrix(self, j: int) -> np.ndarray:
-        """The decompressed leading basis ``V_j`` as an (n, j) view."""
+        """The decompressed leading basis ``V_j`` as an ``(n, j)`` array.
+
+        A diagnostic escape hatch (orthogonality monitors, tests): in
+        streaming mode this *materializes* the basis on demand — it is
+        never called on the solver hot path.
+        """
         if j > self._written:
             raise IndexError(f"only {self._written} basis vectors written")
-        return self._cache[:, :j]
+        if self._cache is not None:
+            return self._cache[:, :j]
+        out = np.empty((self.n, j), order="F")
+        for i in range(j):
+            out[:, i] = self.accessors[i].read()
+        return out
+
+    def _reader(self, j: int):
+        """The fused-kernel tile source for the leading ``j`` vectors."""
+        if j > self._written:
+            raise IndexError(f"only {self._written} basis vectors written")
+        if self._cache is not None:
+            return CachedTileReader(self._cache, j)
+        return StreamingTileReader(self.accessors, j)
 
     def dot_basis(self, j: int, w: np.ndarray) -> np.ndarray:
         """``V_j^T w`` — the orthogonalization read of Fig. 1 step 4."""
         with self.tracer.span("basis_read", vectors=j):
             self._count_read(j)
-            return self.matrix(j).T @ w
+            return dot_basis_fused(
+                self._reader(j), w, self.tile_elems, self.tracer, self.fused_log
+            )
 
     def combine(self, j: int, y: np.ndarray) -> np.ndarray:
         """``V_j y`` — the solution-update read of Fig. 1 step 18."""
         with self.tracer.span("basis_read", vectors=j):
             self._count_read(j)
-            return self.matrix(j) @ y
+            return combine_fused(
+                self._reader(j), y, self.tile_elems, self.tracer, self.fused_log
+            )
+
+    def axpy(self, j: int, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """``w -= V_j y`` in place, fused with the basis decode.
+
+        Element-for-element identical to ``w -= self.combine(j, y)``
+        but without materializing the ``(n,)`` product (the fused-update
+        structure of the paper's kernels).
+        """
+        with self.tracer.span("basis_read", vectors=j):
+            self._count_read(j)
+            return axpy_fused(
+                self._reader(j), y, w, self.tile_elems, self.tracer, self.fused_log
+            )
+
+    def norm_vector(self, j: int) -> float:
+        """2-norm of stored vector ``v_j``, streamed tile-by-tile."""
+        if j >= self._written:
+            raise IndexError(f"basis slot {j} has not been written")
+        if self._cache is not None:
+            col = self._cache[:, j]
+
+            def segments(t0: int, t1: int) -> np.ndarray:
+                return col[t0:t1]
+
+        else:
+            acc = self.accessors[j]
+
+            def segments(t0: int, t1: int) -> np.ndarray:
+                return acc.read_tile(t0, t1)
+
+        return norm_fused(
+            segments, self.n, self.tile_elems, self.tracer, self.fused_log
+        )
 
     def _count_read(self, j: int) -> None:
         """Tally the stored bytes a GPU kernel would stream for ``V_j``."""
@@ -104,5 +264,19 @@ class KrylovBasis:
             self.tracer.count("basis.bytes_read", j * self.stored_vector_nbytes)
 
     def reset(self) -> None:
-        """Forget all vectors (used at restart)."""
+        """Forget all vectors (used at restart).
+
+        Clears the dense view *and* the accessor payloads (compressed
+        streams, decoded-block caches), so neither basis mode can
+        observe pre-restart bits through any access path.
+        """
         self._written = 0
+        if self._cache is not None:
+            self._cache[:] = 0.0
+        for acc in self.accessors:
+            try:
+                acc.clear()
+            except NotImplementedError:
+                # third-party accessors without clear(): the _written
+                # guard alone fences their stale payloads
+                pass

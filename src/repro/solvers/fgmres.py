@@ -32,6 +32,7 @@ import numpy as np
 
 from ..accessor import VectorAccessor
 from ..sparse.csr import CSRMatrix
+from ..fused import DEFAULT_TILE_ELEMS
 from .basis import KrylovBasis
 from .gmres import (
     DEFAULT_MAX_ITER,
@@ -66,6 +67,8 @@ class FlexibleGmres:
         stall_restarts: Optional[int] = 8,
         preconditioner: Optional[Preconditioner] = None,
         accessor_factory: "Callable[[int], VectorAccessor] | None" = None,
+        basis_mode: str = "cached",
+        tile_elems: Optional[int] = None,
     ) -> None:
         if a.shape[0] != a.shape[1]:
             raise ValueError("FGMRES requires a square matrix")
@@ -79,6 +82,8 @@ class FlexibleGmres:
         self.stall_restarts = stall_restarts
         self.preconditioner = preconditioner or IdentityPreconditioner()
         self._factory = accessor_factory
+        self.basis_mode = basis_mode
+        self.tile_elems = tile_elems
 
     def solve(
         self,
@@ -99,9 +104,25 @@ class FlexibleGmres:
         bnorm = float(np.linalg.norm(b))
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
-        v_basis = KrylovBasis(n, self.m, "float64")
-        z_basis = KrylovBasis(n, self.m, self.z_storage, self._factory)
-        stats = SolveStats(n=n, nnz=a.nnz, bits_per_value=z_basis.bits_per_value)
+        tile = self.tile_elems if self.tile_elems else DEFAULT_TILE_ELEMS
+        v_basis = KrylovBasis(
+            n, self.m, "float64", basis_mode=self.basis_mode, tile_elems=tile
+        )
+        z_basis = KrylovBasis(
+            n,
+            self.m,
+            self.z_storage,
+            self._factory,
+            basis_mode=self.basis_mode,
+            tile_elems=tile,
+        )
+        stats = SolveStats(
+            n=n,
+            nnz=a.nnz,
+            bits_per_value=z_basis.bits_per_value,
+            basis_mode=self.basis_mode,
+            basis_tile_elems=z_basis.tile_elems,
+        )
         history: List[ResidualSample] = []
         if bnorm == 0.0:
             return GmresResult(
@@ -159,7 +180,9 @@ class FlexibleGmres:
                     stats.preconditioner_applies += 1
                 z_basis.write_vector(j - 1, z)
                 stats.basis_writes += 1
-                w = a.matvec(z_basis.vector(j - 1))
+                # counted read: the SpMV streams z_{j-1} from compressed
+                # storage (ref [17] halves the saving, not the traffic)
+                w = a.matvec(z_basis.read_vector(j - 1))
                 stats.spmv_calls += 1
                 ores = cgs_orthogonalize(v_basis, j, w, self.eta)
                 # V reads are full float64 vectors (not compressed):
@@ -190,6 +213,19 @@ class FlexibleGmres:
         final_rrn = float(np.linalg.norm(b - a.matvec(x)) / bnorm)
         stats.spmv_calls += 1
         stats.bits_per_value = z_basis.bits_per_value
+        # both bases contribute float64 working set and fused-kernel work
+        stats.basis_peak_float64_bytes = (
+            v_basis.peak_float64_bytes + z_basis.peak_float64_bytes
+        )
+        for flog in (v_basis.fused_log, z_basis.fused_log):
+            stats.fused_dot_calls += flog.dot_calls
+            stats.fused_dot_vectors += flog.dot_vectors
+            stats.fused_axpy_calls += flog.axpy_calls
+            stats.fused_axpy_vectors += flog.axpy_vectors
+            stats.fused_combine_calls += flog.combine_calls
+            stats.fused_combine_vectors += flog.combine_vectors
+            stats.fused_tiles += flog.tiles
+            stats.fused_values += flog.values
         return GmresResult(
             x=x,
             converged=converged,

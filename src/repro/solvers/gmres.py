@@ -30,7 +30,8 @@ from ..accessor import VectorAccessor
 from ..observe import NULL_TRACER
 from ..sparse.csr import CSRMatrix
 from ..sparse.engine import SPMV_FORMATS, SpmvEngine
-from .basis import KrylovBasis
+from ..fused import DEFAULT_TILE_ELEMS
+from .basis import BASIS_MODES, KrylovBasis
 from .hessenberg import GivensLeastSquares
 from .orthogonal import DEFAULT_ETA, cgs_orthogonalize, mgs_orthogonalize
 from .preconditioner import IdentityPreconditioner, Preconditioner
@@ -110,6 +111,23 @@ class SolveStats:
     spmv_format: str = "csr"
     #: stored slots of that layout including padding (``nnz`` for CSR)
     spmv_padded_entries: int = 0
+    #: basis kernel structure: "cached" (materialized) or "streaming"
+    basis_mode: str = "cached"
+    #: fused-kernel tile size in elements (after granularity rounding)
+    basis_tile_elems: int = 0
+    #: largest float64 working set the basis held during the solve
+    basis_peak_float64_bytes: int = 0
+    #: fused-kernel work log (feeds the modeled fused-kernel time):
+    #: calls and stored-vector operands of each fused primitive, plus
+    #: the total decoded tiles/values streamed through scratch
+    fused_dot_calls: int = 0
+    fused_dot_vectors: int = 0
+    fused_axpy_calls: int = 0
+    fused_axpy_vectors: int = 0
+    fused_combine_calls: int = 0
+    fused_combine_vectors: int = 0
+    fused_tiles: int = 0
+    fused_values: int = 0
 
 
 @dataclass
@@ -195,6 +213,16 @@ class CbGmres:
         crashing or silently diverging.  Each such event is a
         *recovery*, logged in ``SolveStats.recoveries`` and
         ``GmresResult.breakdown_events``.
+    basis_mode:
+        ``"cached"`` (default) materializes the decompressed basis in a
+        dense float64 view; ``"streaming"`` never does — the fused
+        kernels decode one compressed tile at a time (``O(tile)``
+        float64 working set, the paper's in-register fusion structure).
+        The two modes are bit-identical.
+    tile_elems:
+        Fused-kernel tile size in elements (rounded up to the storage
+        format's block granularity).  Part of the determinism contract:
+        solves with different tile sizes may differ in the last ulp.
     tracer:
         Optional :class:`repro.observe.Tracer`.  When given, the solve
         emits nested wall-clock spans (``restart`` / ``arnoldi`` /
@@ -228,6 +256,8 @@ class CbGmres:
         recovery: bool = True,
         max_recoveries: int = DEFAULT_MAX_RECOVERIES,
         spmv_format: str = "csr",
+        basis_mode: str = "cached",
+        tile_elems: int = DEFAULT_TILE_ELEMS,
         tracer=None,
     ) -> None:
         if a.shape[0] != a.shape[1]:
@@ -265,6 +295,12 @@ class CbGmres:
         if max_recoveries < 0:
             raise ValueError("max_recoveries must be non-negative")
         self.max_recoveries = int(max_recoveries)
+        if basis_mode not in BASIS_MODES:
+            raise ValueError(
+                f"unknown basis_mode {basis_mode!r}; expected one of {BASIS_MODES}"
+            )
+        self.basis_mode = basis_mode
+        self.tile_elems = int(tile_elems)
         self.tracer = tracer or NULL_TRACER
 
     def solve(
@@ -326,13 +362,23 @@ class CbGmres:
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
         tracer = self.tracer
-        basis = KrylovBasis(n, self.m, self.storage, self._factory, tracer=tracer)
+        basis = KrylovBasis(
+            n,
+            self.m,
+            self.storage,
+            self._factory,
+            tracer=tracer,
+            basis_mode=self.basis_mode,
+            tile_elems=self.tile_elems,
+        )
         stats = SolveStats(
             n=n,
             nnz=a.nnz,
             bits_per_value=basis.bits_per_value,
             spmv_format=getattr(a, "resolved_format", "csr"),
             spmv_padded_entries=int(getattr(a, "padded_entries", a.nnz)),
+            basis_mode=self.basis_mode,
+            basis_tile_elems=basis.tile_elems,
         )
         history: List[ResidualSample] = []
         if bnorm == 0.0:
@@ -520,6 +566,16 @@ class CbGmres:
             final_rrn = rrn if np.isfinite(rrn) else float(prev_explicit)
         # round-trip formats only know their compressed size after writing
         stats.bits_per_value = basis.bits_per_value
+        stats.basis_peak_float64_bytes = basis.peak_float64_bytes
+        flog = basis.fused_log
+        stats.fused_dot_calls = flog.dot_calls
+        stats.fused_dot_vectors = flog.dot_vectors
+        stats.fused_axpy_calls = flog.axpy_calls
+        stats.fused_axpy_vectors = flog.axpy_vectors
+        stats.fused_combine_calls = flog.combine_calls
+        stats.fused_combine_vectors = flog.combine_vectors
+        stats.fused_tiles = flog.tiles
+        stats.fused_values = flog.values
         return GmresResult(
             x=x,
             converged=converged,

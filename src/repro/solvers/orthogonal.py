@@ -82,14 +82,14 @@ def cgs_orthogonalize(
     w = np.array(w, dtype=np.float64)
     w_tilde = float(np.linalg.norm(w))  # omega-tilde of Fig. 1 step 3
     h = basis.dot_basis(j, w)
-    w -= basis.combine(j, h)
+    basis.axpy(j, h, w)  # w -= V_j h, fused with the basis decode
     h_next = float(np.linalg.norm(w))
     h_first = h_next
     reorth = False
     if h_next < eta * w_tilde:
         reorth = True
         u = basis.dot_basis(j, w)
-        w -= basis.combine(j, u)
+        basis.axpy(j, u, w)
         h = h + u
         h_next = float(np.linalg.norm(w))
     return _finish(h, h_next, w, w_tilde, reorth, h_first, eta)
@@ -108,7 +108,10 @@ def mgs_orthogonalize(
     w_tilde = float(np.linalg.norm(w))
     h = np.zeros(j)
     for i in range(j):
-        vi = basis.vector(i)
+        # read_vector, not vector(): each MGS pass streams every stored
+        # vector from (simulated) memory, and that traffic must reach
+        # the timing model
+        vi = basis.read_vector(i)
         h[i] = float(vi @ w)
         w -= h[i] * vi
     h_next = float(np.linalg.norm(w))
@@ -117,7 +120,7 @@ def mgs_orthogonalize(
     if h_next < eta * w_tilde:
         reorth = True
         for i in range(j):
-            vi = basis.vector(i)
+            vi = basis.read_vector(i)
             u = float(vi @ w)
             w -= u * vi
             h[i] += u

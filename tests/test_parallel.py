@@ -98,6 +98,12 @@ def _strip_nondeterministic(doc):
             for k, v in entry["spmv"].items()
             if k not in ("wall_seconds", "csr_wall_seconds", "speedup_vs_csr")
         }
+        basis = dict(entry["basis"])
+        basis["modes"] = {
+            mode: {k: v for k, v in parts.items() if k != "wall_seconds"}
+            for mode, parts in basis["modes"].items()
+        }
+        entry["basis"] = basis
         entry["phases"] = {
             phase: {"modeled_seconds": parts["modeled_seconds"]}
             for phase, parts in entry["phases"].items()
