@@ -27,6 +27,15 @@ bench
     validates a file against the schema).  ``--jobs N`` fans the grid
     over worker processes; deterministic metrics are identical for any
     job count.
+serve
+    Submit solve jobs to the hardened job engine (supervised workers,
+    deadlines, retries, backpressure) and stream per-restart progress
+    events while they run; drains and prints the health block.
+soak
+    Run the serve soak: hundreds of mixed jobs + seeded chaos
+    (crashes, hangs, solve errors, bit flips), invariants asserted,
+    serve health written to ``BENCH_serve.json``.  ``--check FILE``
+    validates an existing report.
 """
 
 from __future__ import annotations
@@ -314,6 +323,136 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from .bench import format_table
+    from .robust.chaos import ChaosSpec
+    from .serve import (
+        JobSpec,
+        JobState,
+        RejectedError,
+        ServeConfig,
+        SolveEngine,
+        build_serve_health,
+    )
+
+    chaos = None
+    if args.chaos:
+        chaos = ChaosSpec(args.chaos, at_iteration=args.chaos_at).to_dict()
+    specs = []
+    for matrix in args.matrices:
+        for i in range(args.count):
+            specs.append(JobSpec(
+                matrix=matrix,
+                storage=args.storage,
+                scale=args.scale,
+                m=args.restart,
+                max_iter=args.max_iter,
+                rhs_seed=None if args.rhs_seed is None else args.rhs_seed + i,
+                spmv_format=args.spmv_format,
+                basis_mode=args.basis_mode,
+                deadline_s=args.deadline,
+                progress_every=args.progress_every,
+                chaos=chaos,
+            ))
+
+    config = ServeConfig(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_retries=args.max_retries,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        default_deadline_s=args.deadline,
+    )
+
+    def show(event) -> None:
+        if event.kind == "progress":
+            payload = event.payload
+            print(f"  {event.job_id}: iter {payload['iteration']:4d} "
+                  f"rrn {payload['implicit_rrn']:.3e}")
+        elif event.kind in ("state", "attempt") and not args.quiet:
+            print(f"  {event.job_id}: {event.kind} {event.payload}")
+
+    records = []
+    with SolveEngine(config) as engine:
+        if args.follow:
+            engine.subscribe(show)
+        for spec in specs:
+            try:
+                records.append(engine.submit(spec))
+            except RejectedError as exc:
+                print(f"rejected ({exc.reason}): {exc}", file=sys.stderr)
+        drained = engine.drain(timeout=args.drain_timeout)
+        health = build_serve_health(engine)
+        if not drained:
+            print("drain timed out; forcing shutdown", file=sys.stderr)
+            engine.close(force=True)
+
+    rows = []
+    for record in records:
+        snap = record.snapshot()
+        result = snap["result"] or {}
+        rows.append((
+            record.job_id, record.spec.matrix, snap["storage_used"],
+            record.state, snap["attempts"], snap["retries"],
+            result.get("iterations", "-"),
+            f"{result['final_rrn']:.2e}" if result else "-",
+            f"{snap['queue_wait_s'] * 1e3:.1f}" if snap["queue_wait_s"] is not None else "-",
+        ))
+    print(format_table(
+        f"serve run ({config.workers} workers, queue bound {config.max_queue})",
+        ["job", "matrix", "storage", "state", "att", "retry", "iters",
+         "rrn", "wait ms"],
+        rows,
+    ))
+    print()
+    print(json.dumps(health, indent=2, sort_keys=True))
+    bad = sum(1 for r in records if r.state != JobState.DONE)
+    return 0 if (drained and bad == 0) else 1
+
+
+def _cmd_soak(args) -> int:
+    import json
+
+    from .serve import SoakError, run_soak, validate_serve_health
+
+    if args.check:
+        try:
+            with open(args.check) as fh:
+                doc = json.load(fh)
+            validate_serve_health(doc["serve"])
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.check}: valid serve report")
+        return 0
+
+    try:
+        report = run_soak(
+            jobs=args.jobs,
+            workers=args.workers,
+            seed=args.seed,
+            max_queue=args.max_queue,
+            verify_every=args.verify_every,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            out=args.out,
+            check=True,
+            log=print,
+        )
+    except SoakError as exc:
+        print(f"SOAK FAILED:\n{exc}", file=sys.stderr)
+        return 1
+    summary = report["soak"]
+    jobs = report["serve"]["jobs"]
+    print(f"soak passed: {summary['jobs']} jobs in "
+          f"{summary['wall_seconds']:.1f}s — "
+          f"{jobs['done']} done, {jobs['cancelled']} cancelled, "
+          f"{jobs['retried']} retried, {jobs['degraded']} degraded, "
+          f"{summary['backpressure_rejections']} backpressure rejections, "
+          f"bit-identity on {summary['bit_identity_checked']} jobs")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -421,6 +560,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", default=None, metavar="FILE",
                    help="validate an existing bench file against the schema")
 
+    p = sub.add_parser(
+        "serve",
+        help="run solve jobs through the hardened job engine",
+    )
+    p.add_argument("matrices", nargs="+", help="suite matrices to solve")
+    p.add_argument("--count", type=int, default=1,
+                   help="jobs per matrix (RHS seed advances per copy)")
+    p.add_argument("--storage", default="frsz2_32")
+    p.add_argument("--scale", default="smoke",
+                   choices=["smoke", "default", "paper"])
+    p.add_argument("--restart", type=int, default=30)
+    p.add_argument("--max-iter", type=int, default=400)
+    p.add_argument("--rhs-seed", type=int, default=None,
+                   help="base seed for random RHS (default: paper RHS)")
+    p.add_argument("--spmv-format", default="csr",
+                   choices=["auto", "csr", "ell", "sell"])
+    p.add_argument("--basis-mode", default="cached",
+                   choices=["cached", "streaming"])
+    p.add_argument("--workers", type=int, default=2,
+                   help="supervised worker processes")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission bound (beyond it: reject queue_full)")
+    p.add_argument("--max-retries", type=int, default=2)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-job wall deadline in seconds")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   help="kill a worker silent for this many seconds")
+    p.add_argument("--progress-every", type=int, default=25)
+    p.add_argument("--drain-timeout", type=float, default=600.0)
+    p.add_argument("--follow", action="store_true",
+                   help="stream progress events to stdout")
+    p.add_argument("--quiet", action="store_true",
+                   help="with --follow, print only progress events")
+    p.add_argument("--chaos", default=None,
+                   help="arm a chaos kind on every job (testing), e.g. "
+                        "worker_crash, worker_hang, solve_error")
+    p.add_argument("--chaos-at", type=int, default=5,
+                   help="solver iteration at which the chaos fires")
+
+    p = sub.add_parser(
+        "soak",
+        help="run the serve soak with seeded chaos; write BENCH_serve.json",
+    )
+    p.add_argument("--jobs", type=int, default=200,
+                   help="solve jobs to queue (mixed configs)")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-queue", type=int, default=32)
+    p.add_argument("--verify-every", type=int, default=10,
+                   help="bit-identity-check every n-th clean job")
+    p.add_argument("--heartbeat-timeout", type=float, default=2.0)
+    p.add_argument("--out", default="BENCH_serve.json",
+                   help="serve health report path")
+    p.add_argument("--check", default=None, metavar="FILE",
+                   help="validate an existing serve report")
+
     return parser
 
 
@@ -433,6 +628,8 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "faults": _cmd_faults,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "soak": _cmd_soak,
 }
 
 

@@ -7,8 +7,25 @@ FRSZ2 codec, CSR SpMV).  The default everywhere is the zero-overhead
 runner (``python -m repro bench``) wires one tracer through a whole
 solve and merges the observed spans with the GPU timing model's
 predicted per-kernel times into a per-phase attribution report.
+:class:`ScopedTracer` gives multi-tenant call sites (the
+:mod:`repro.serve` job engine) a per-job namespace over one shared
+tracer, so concurrent jobs' spans and counters never collide.
 """
 
-from .tracer import NULL_TRACER, NullTracer, PhaseTotal, SpanRecord, Tracer
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    PhaseTotal,
+    ScopedTracer,
+    SpanRecord,
+    Tracer,
+)
 
-__all__ = ["NULL_TRACER", "NullTracer", "PhaseTotal", "SpanRecord", "Tracer"]
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseTotal",
+    "ScopedTracer",
+    "SpanRecord",
+    "Tracer",
+]

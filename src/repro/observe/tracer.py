@@ -28,7 +28,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["SpanRecord", "PhaseTotal", "NullTracer", "Tracer", "NULL_TRACER"]
+__all__ = [
+    "SpanRecord",
+    "PhaseTotal",
+    "NullTracer",
+    "Tracer",
+    "ScopedTracer",
+    "NULL_TRACER",
+]
 
 
 class _NullSpan:
@@ -259,3 +266,63 @@ class Tracer:
             f"Tracer(spans={len(self.spans)}, counters={len(self.counters)}, "
             f"open={len(self._stack)})"
         )
+
+
+class ScopedTracer:
+    """A tracer view that prefixes every span and counter name.
+
+    Multi-tenant call sites — the :mod:`repro.serve` job engine in
+    particular — funnel many jobs' observations through *one* underlying
+    tracer.  Without scoping their counters collide (job A's
+    ``attempts`` is indistinguishable from job B's); with a scope each
+    job gets its own dotted namespace::
+
+        job_tracer = ScopedTracer(engine_tracer, f"serve.job.{job_id}")
+        job_tracer.count("retries")     # -> serve.job.<id>.retries
+        with job_tracer.span("attempt"):  # span named serve.job.<id>.attempt
+            ...
+
+    Scopes nest (``scope()`` on a scoped tracer concatenates prefixes)
+    and wrapping the :data:`NULL_TRACER` stays a zero-overhead no-op
+    (``enabled`` mirrors the base tracer, so guarded hot paths skip
+    work exactly as before).
+    """
+
+    __slots__ = ("base", "prefix")
+
+    def __init__(self, base, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("scope prefix must be non-empty")
+        self.base = base
+        self.prefix = prefix
+
+    @property
+    def enabled(self) -> bool:
+        return self.base.enabled
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def span(self, name: str, **attrs: Any):
+        return self.base.span(self._qualify(name), **attrs)
+
+    def count(self, name: str, value: float = 1) -> None:
+        self.base.count(self._qualify(name), value)
+
+    def scope(self, prefix: str) -> "ScopedTracer":
+        """A child scope: ``scope("x").scope("y")`` prefixes ``x.y.``."""
+        return ScopedTracer(self.base, self._qualify(prefix))
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        """The base tracer's counters restricted to this scope,
+        returned with the prefix stripped."""
+        needle = self.prefix + "."
+        return {
+            name[len(needle):]: value
+            for name, value in self.base.counters.items()
+            if name.startswith(needle)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScopedTracer({self.prefix!r}, base={self.base!r})"

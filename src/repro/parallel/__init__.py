@@ -1,11 +1,25 @@
-"""Parallel execution engine: deterministic fan-out of experiment grids.
+"""Parallel execution engine: deterministic fan-out + supervised pools.
 
-See :mod:`repro.parallel.runner` for the design contract (submission-
-order results, task-local seeding, named worker-crash errors).  The
-bench and fault-campaign drivers consume this through their ``jobs``
-parameters / ``--jobs`` CLI flags.
+See :mod:`repro.parallel.runner` for the grid contract (submission-
+order results, task-local seeding, per-task wall deadlines, named
+worker-crash errors, ``on_error="collect"`` partial results) and
+:mod:`repro.parallel.pool` for the supervised worker-process substrate
+(kill/respawn, progress streaming, cooperative cancellation) that both
+the grid runner and the :mod:`repro.serve` job engine are built on.
+The bench and fault-campaign drivers consume this through their
+``jobs`` parameters / ``--jobs`` CLI flags.
 """
 
-from .runner import WorkerCrashError, resolve_jobs, run_grid
+from .pool import PoolEvent, PoolTask, SupervisedPool, TaskCancelled
+from .runner import ON_ERROR_MODES, WorkerCrashError, resolve_jobs, run_grid
 
-__all__ = ["WorkerCrashError", "resolve_jobs", "run_grid"]
+__all__ = [
+    "ON_ERROR_MODES",
+    "PoolEvent",
+    "PoolTask",
+    "SupervisedPool",
+    "TaskCancelled",
+    "WorkerCrashError",
+    "resolve_jobs",
+    "run_grid",
+]

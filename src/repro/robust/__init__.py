@@ -15,12 +15,26 @@ fallback
 campaign
     A survival-rate sweep over fault kind × storage format × rate,
     rendered with :mod:`repro.bench.report`.
+chaos
+    Seeded *process-level* failure plans (worker crash / hang /
+    slowdown / in-process error) plus delegation to the data-level
+    injectors — the fault model of the :mod:`repro.serve` job engine
+    and its soak harness.
 
 Solver-side breakdown *detection* (non-finite Arnoldi quantities, loss
 of orthogonality) lives in :mod:`repro.solvers`; this package builds the
 injection and escalation machinery on top of it.
 """
 
+from .chaos import (
+    CHAOS_KINDS,
+    PROCESS_CHAOS_KINDS,
+    ChaosError,
+    ChaosSpec,
+    chaos_accessor_factory,
+    chaos_monitor,
+    chaos_spmv_wrapper,
+)
 from .campaign import (
     DEFAULT_FAULTS,
     DEFAULT_RATES,
@@ -44,6 +58,13 @@ from .faults import (
 )
 
 __all__ = [
+    "CHAOS_KINDS",
+    "PROCESS_CHAOS_KINDS",
+    "ChaosError",
+    "ChaosSpec",
+    "chaos_accessor_factory",
+    "chaos_monitor",
+    "chaos_spmv_wrapper",
     "DEFAULT_CHAIN",
     "DEFAULT_FAULTS",
     "DEFAULT_RATES",

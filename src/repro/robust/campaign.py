@@ -10,7 +10,9 @@ injector and classifies the outcome:
   with the hardened solver on the bundled problems);
 * ``crashed``    — an exception escaped the solve (only reachable with
   ``hardened=False``: the unhardened baseline the campaign exists to
-  measure against);
+  measure against), or the cell's worker *process* died outright —
+  parallel sweeps run with ``on_error="collect"``, so one dead worker
+  costs one cell, never the campaign;
 * ``diverged``   — unhardened solve finished with a non-finite or
   worse-than-initial residual.
 
@@ -27,7 +29,7 @@ import numpy as np
 
 from ..accessor import make_accessor
 from ..bench.report import format_table
-from ..parallel import run_grid
+from ..parallel import WorkerCrashError, run_grid
 from ..sparse.engine import SPMV_FORMATS, SpmvEngine
 from ..solvers.gmres import CbGmres
 from ..solvers.problems import Problem, make_problem
@@ -274,14 +276,30 @@ def run_campaign(
         for i_s, storage in enumerate(storages)
         for i_r, rate in enumerate(rates)
     ]
-    cells = run_grid(
+    # collect mode: a worker that dies outright (OOM kill, segfault)
+    # becomes a "crashed" cell with its grid coordinates intact instead
+    # of aborting the whole sweep — the campaign exists to *measure*
+    # failure, so it must survive it too
+    raw = run_grid(
         _run_cell,
         tasks,
         jobs=jobs,
         labels=[
             f"faults[{t['fault']}/{t['storage']}@{t['rate']}]" for t in tasks
         ],
+        on_error="collect",
     )
+    cells = [
+        CampaignCell(
+            fault=t["fault"], storage=t["storage"], rate=t["rate"],
+            outcome="crashed", storage_used=t["storage"], attempts=1,
+            iterations=0, recoveries=0, breakdowns=0, faults_injected=0,
+            final_rrn=float("nan"),
+        )
+        if isinstance(cell, WorkerCrashError)
+        else cell
+        for t, cell in zip(tasks, raw)
+    ]
     return CampaignResult(
         matrix=matrix,
         scale=problem.scale,

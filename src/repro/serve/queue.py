@@ -1,0 +1,127 @@
+"""Bounded admission with explicit backpressure.
+
+The submission queue is the one place a service can trade latency for
+survival, and the trade must be *explicit*: a full queue rejects new
+work with a machine-readable reason — it never grows without bound, and
+it never silently drops a job that was admitted.  The
+:class:`AdmissionController` owns that policy for the engine: the bound
+check, the drain/closed gates, the rejection taxonomy, and the
+queue-wait statistics (p50/p95) that make backpressure *measurable* in
+the serve health block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "REJECT_QUEUE_FULL",
+    "REJECT_DRAINING",
+    "REJECT_CLOSED",
+    "RejectedError",
+    "QueueFullError",
+    "DrainingError",
+    "ClosedError",
+    "AdmissionController",
+]
+
+REJECT_QUEUE_FULL = "queue_full"
+REJECT_DRAINING = "draining"
+REJECT_CLOSED = "closed"
+
+
+class RejectedError(RuntimeError):
+    """A submission was rejected; ``reason`` is machine-readable."""
+
+    reason = "rejected"
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(detail)
+        self.detail = detail
+
+
+class QueueFullError(RejectedError):
+    """Backpressure: the bounded queue is at capacity."""
+
+    reason = REJECT_QUEUE_FULL
+
+
+class DrainingError(RejectedError):
+    """The engine is draining and refuses new work."""
+
+    reason = REJECT_DRAINING
+
+
+class ClosedError(RejectedError):
+    """The engine is shut down."""
+
+    reason = REJECT_CLOSED
+
+
+@dataclass
+class AdmissionController:
+    """Admission policy + accounting for the bounded submission queue.
+
+    Not a container: the engine owns the actual job records; this class
+    answers "may this job be admitted?" and keeps the tallies
+    (accepted / rejected-by-reason / queue waits) the health block
+    reports.  All calls happen under the engine lock.
+    """
+
+    max_queue: int
+    accepted: int = 0
+    rejected: Dict[str, int] = field(
+        default_factory=lambda: {
+            REJECT_QUEUE_FULL: 0,
+            REJECT_DRAINING: 0,
+            REJECT_CLOSED: 0,
+        }
+    )
+    queue_waits_s: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+
+    def admit(self, queued_now: int, draining: bool, closed: bool) -> None:
+        """Raise the matching :class:`RejectedError` or count an accept.
+
+        ``queued_now`` is the number of admitted-but-not-yet-running
+        jobs (QUEUED + RETRY_WAIT); running jobs occupy workers, not
+        queue slots.
+        """
+        if closed:
+            self.rejected[REJECT_CLOSED] += 1
+            raise ClosedError("engine is shut down")
+        if draining:
+            self.rejected[REJECT_DRAINING] += 1
+            raise DrainingError("engine is draining; refusing new work")
+        if queued_now >= self.max_queue:
+            self.rejected[REJECT_QUEUE_FULL] += 1
+            raise QueueFullError(
+                f"submission queue is full ({queued_now}/{self.max_queue}); "
+                "retry after in-flight jobs finish"
+            )
+        self.accepted += 1
+
+    def record_queue_wait(self, seconds: float) -> None:
+        self.queue_waits_s.append(float(seconds))
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    def wait_percentiles(self) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ..., "max": ...}`` of observed queue
+        waits (``None`` values before any job started)."""
+        if not self.queue_waits_s:
+            return {"p50": None, "p95": None, "max": None}
+        waits = np.asarray(self.queue_waits_s, dtype=np.float64)
+        return {
+            "p50": float(np.percentile(waits, 50)),
+            "p95": float(np.percentile(waits, 95)),
+            "max": float(waits.max()),
+        }

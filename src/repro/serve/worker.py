@@ -1,0 +1,197 @@
+"""Worker-side job execution: one solve per task, fresh state per job.
+
+This module is the code that actually runs inside a
+:class:`repro.parallel.pool.SupervisedPool` worker process.  Its
+contract with the engine:
+
+* **Isolation, asserted.**  Every job builds its *own* problem, tracer,
+  accessors and solver — nothing is reused across jobs.  A module-level
+  sentinel (:data:`_ACTIVE_JOB`) makes the claim checkable: if a
+  previous job's cleanup ever leaked (its ``finally`` skipped, its
+  state left armed), the next job on that worker raises
+  :class:`IsolationError` instead of silently computing on dirty state.
+  The definitive check is external: the soak harness asserts non-faulted
+  jobs' results are bit-identical to direct ``CbGmres.solve`` calls.
+* **Progress = heartbeat.**  The injected ``emit`` callback publishes a
+  per-restart progress event (iteration, implicit residual, phase
+  seconds from the job's own :class:`repro.observe.Tracer`).  The
+  engine treats the event stream as the liveness signal, so a worker
+  that stops emitting is declared hung and killed; ``emit`` is also the
+  cooperative-cancellation point (it raises
+  :class:`repro.parallel.TaskCancelled` when the engine asked).
+* **Chaos is opt-in and attempt-scoped.**  A job spec may carry a
+  serialized :class:`repro.robust.chaos.ChaosSpec`; the worker arms it
+  only for the attempt it targets, so a crash plan for attempt 1 lets
+  the retry succeed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..accessor import make_accessor
+from ..observe import Tracer
+from ..robust.chaos import (
+    ChaosSpec,
+    chaos_accessor_factory,
+    chaos_monitor,
+    chaos_spmv_wrapper,
+)
+from ..solvers.gmres import CbGmres
+from ..solvers.problems import make_problem
+
+__all__ = ["IsolationError", "run_solve_job"]
+
+
+class IsolationError(RuntimeError):
+    """Cross-job state leakage detected inside a worker process."""
+
+
+#: job currently executing in this worker process (isolation sentinel)
+_ACTIVE_JOB: Optional[str] = None
+#: jobs completed by this worker process (diagnostic; proves reuse)
+_JOBS_RUN = 0
+
+#: tracer phases snapshotted into progress events
+_PROGRESS_PHASES = ("spmv", "orthogonalize", "basis_read", "basis_write")
+
+
+def _make_rhs(problem, rhs_seed: Optional[int]) -> np.ndarray:
+    if rhs_seed is None:
+        return problem.b
+    rng = np.random.default_rng(rhs_seed)
+    x = rng.standard_normal(problem.a.shape[1])
+    x /= np.linalg.norm(x)
+    return problem.a.matvec(x)
+
+
+def run_solve_job(
+    spec: Dict[str, Any],
+    job_id: str,
+    attempt: int,
+    storage: str,
+    emit: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """Run one solve attempt; returns the result payload.
+
+    Parameters
+    ----------
+    spec : dict
+        A serialized :class:`repro.serve.jobs.JobSpec`.
+    job_id : str
+        Engine-assigned identity (isolation sentinel + event tagging).
+    attempt : int
+        1-based attempt number (chaos arming, diagnostics).
+    storage : str
+        Storage format for *this* attempt — the engine may have degraded
+        it below ``spec["storage"]`` along the fallback chain.
+    emit : callable, optional
+        Progress channel injected by the pool; ``None`` (direct calls
+        in tests) disables event emission.
+    """
+    global _ACTIVE_JOB, _JOBS_RUN
+    if _ACTIVE_JOB is not None:
+        raise IsolationError(
+            f"worker started job {job_id} while job {_ACTIVE_JOB} "
+            "still owns this process — per-job state leaked"
+        )
+    _ACTIVE_JOB = job_id
+    try:
+        t0 = time.perf_counter()
+        problem = make_problem(
+            spec["matrix"], spec["scale"], target_rrn=spec.get("target_rrn")
+        )
+        b = _make_rhs(problem, spec.get("rhs_seed"))
+        target = (
+            spec["target_rrn"]
+            if spec.get("target_rrn") is not None
+            else problem.target_rrn
+        )
+
+        chaos = None
+        if spec.get("chaos"):
+            chaos = ChaosSpec.from_dict(spec["chaos"])
+            if not chaos.armed(attempt):
+                chaos = None
+
+        a = problem.a
+        accessor_factory = None
+        chaos_tick = None
+        if chaos is not None:
+            if chaos.is_spmv_kind:
+                a = chaos_spmv_wrapper(chaos, a)
+            elif chaos.is_accessor_kind:
+                factory = chaos_accessor_factory(chaos)
+                accessor_factory = lambda n, _s=storage: factory(_s, n)
+            else:
+                chaos_tick = chaos_monitor(chaos)
+
+        tracer = Tracer()
+        progress_every = max(int(spec.get("progress_every", 25)), 1)
+        emitted = 0
+
+        def monitor(iteration, j, basis, implicit_rrn) -> None:
+            nonlocal emitted
+            if chaos_tick is not None:
+                chaos_tick(iteration, j, basis, implicit_rrn)
+            if emit is None:
+                return
+            if iteration % progress_every != 0 and j != 0:
+                return
+            emitted += 1
+            emit({
+                "kind": "progress",
+                "iteration": int(iteration),
+                "restart_slot": int(j),
+                "implicit_rrn": float(implicit_rrn),
+                "phase_seconds": {
+                    phase: tracer.total_seconds(phase)
+                    for phase in _PROGRESS_PHASES
+                },
+            })
+
+        solver = CbGmres(
+            a,
+            storage,
+            m=spec["m"],
+            max_iter=spec["max_iter"],
+            spmv_format=spec.get("spmv_format", "csr"),
+            basis_mode=spec.get("basis_mode", "cached"),
+            accessor_factory=accessor_factory,
+            tracer=tracer,
+        )
+        result = solver.solve(b, target, record_history=False, monitor=monitor)
+
+        _JOBS_RUN += 1
+        return {
+            "job_id": job_id,
+            "attempt": int(attempt),
+            "x": result.x,
+            "converged": bool(result.converged),
+            "stalled": bool(result.stalled),
+            "iterations": int(result.iterations),
+            "final_rrn": float(result.final_rrn),
+            "target_rrn": float(result.target_rrn),
+            "storage_used": storage,
+            "recoveries": int(result.recoveries),
+            "breakdowns": len(result.breakdown_events),
+            "wall_seconds": float(time.perf_counter() - t0),
+            "progress_events": int(emitted),
+            "worker_jobs_run": int(_JOBS_RUN),
+            "counters": {
+                str(k): (float(v) if isinstance(v, float) else int(v))
+                for k, v in sorted(tracer.counters.items())
+            },
+        }
+    finally:
+        _ACTIVE_JOB = None
+
+
+def _leak_state_for_tests(job_id: str) -> None:
+    """Deliberately arm the isolation sentinel (tests only): the next
+    job on this worker must fail with :class:`IsolationError`."""
+    global _ACTIVE_JOB
+    _ACTIVE_JOB = job_id
