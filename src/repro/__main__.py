@@ -27,6 +27,12 @@ bench
     validates a file against the schema).  ``--jobs N`` fans the grid
     over worker processes; deterministic metrics are identical for any
     job count.
+throughput
+    Time the batched multi-RHS solve path against a loop of independent
+    solves over a matrix × storage grid and emit a schema-versioned
+    ``BENCH_throughput.json`` with per-entry and aggregate
+    solves-per-second (``--check FILE`` validates a file and
+    ``--min-speedup X`` gates on its aggregate speedup).
 serve
     Submit solve jobs to the hardened job engine (supervised workers,
     deadlines, retries, backpressure) and stream per-restart progress
@@ -323,6 +329,84 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_throughput(args) -> int:
+    from .bench import format_table
+    from .bench.throughput import (
+        load_throughput,
+        run_throughput,
+        write_throughput,
+    )
+
+    if args.check:
+        try:
+            doc = load_throughput(args.check)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        speedup = doc["aggregate"]["speedup"]
+        if args.min_speedup is not None and speedup < args.min_speedup:
+            print(
+                f"{args.check}: aggregate speedup {speedup:.2f}x is below "
+                f"the required {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.check}: valid throughput document "
+              f"(aggregate speedup {speedup:.2f}x)")
+        return 0
+
+    try:
+        doc = run_throughput(
+            matrices=args.matrices,
+            storages=args.storages,
+            scale=args.scale,
+            m=args.restart,
+            max_iter=args.max_iter,
+            batch=args.batch,
+            rounds=args.rounds,
+            spmv_format=args.spmv_format,
+            basis_mode=args.basis_mode,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    write_throughput(doc, args.out)
+    rows = [
+        (
+            e["matrix"],
+            e["storage"],
+            e["batch"],
+            "yes" if all(e["converged"]) else "no",
+            f"{e['loop_solves_per_second']:.1f}",
+            f"{e['batch_solves_per_second']:.1f}",
+            f"{e['speedup']:.2f}x",
+        )
+        for e in doc["entries"]
+    ]
+    agg = doc["aggregate"]
+    print(format_table(
+        f"throughput grid ({doc['scale']} scale, B={doc['batch']}, "
+        f"{doc['spmv_format']}/{doc['basis_mode']})",
+        ["matrix", "storage", "B", "conv", "loop/s", "batch/s", "speedup"],
+        rows,
+    ))
+    print(
+        f"\naggregate: {agg['solves']} solves, "
+        f"loop {agg['loop_solves_per_second']:.1f}/s vs "
+        f"batch {agg['batch_solves_per_second']:.1f}/s "
+        f"({agg['speedup']:.2f}x)"
+    )
+    print(f"wrote {args.out} ({len(doc['entries'])} entries)")
+    if args.min_speedup is not None and agg["speedup"] < args.min_speedup:
+        print(
+            f"aggregate speedup {agg['speedup']:.2f}x is below the "
+            f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import json
 
@@ -600,6 +684,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="solver iteration at which the chaos fires")
 
     p = sub.add_parser(
+        "throughput",
+        help="time batched multi-RHS solves vs a loop of independent "
+             "solves; write BENCH_throughput.json",
+    )
+    p.add_argument("--out", default="BENCH_throughput.json",
+                   help="output path for the throughput document")
+    p.add_argument("--matrices", nargs="*", default=None,
+                   help="suite matrices (default: cfd2 lung2 — the "
+                        "codec-bound cells batching targets)")
+    p.add_argument("--storages", nargs="*", default=None,
+                   help="storage formats (default: frsz2_16 frsz2_32)")
+    p.add_argument("--scale", default="smoke",
+                   choices=["smoke", "default", "paper"],
+                   help="problem scale (default: smoke — the batched "
+                        "path amortizes per-call codec overhead, which "
+                        "is largest at small scale)")
+    p.add_argument("--restart", type=int, default=30)
+    p.add_argument("--max-iter", type=int, default=400)
+    p.add_argument("--batch", type=int, default=8,
+                   help="simultaneous right-hand sides per batch")
+    p.add_argument("--rounds", type=int, default=3,
+                   help="timing rounds per cell (best-of wins)")
+    p.add_argument("--spmv-format", default="csr",
+                   choices=["auto", "csr", "ell", "sell"])
+    p.add_argument("--basis-mode", default="cached",
+                   choices=["cached", "streaming"])
+    p.add_argument("--min-speedup", type=float, default=None,
+                   help="exit 1 unless the aggregate speedup reaches "
+                        "this factor (also applies to --check)")
+    p.add_argument("--check", default=None, metavar="FILE",
+                   help="validate an existing throughput document")
+
+    p = sub.add_parser(
         "soak",
         help="run the serve soak with seeded chaos; write BENCH_serve.json",
     )
@@ -628,6 +745,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "faults": _cmd_faults,
     "bench": _cmd_bench,
+    "throughput": _cmd_throughput,
     "serve": _cmd_serve,
     "soak": _cmd_soak,
 }

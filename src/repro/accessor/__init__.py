@@ -2,7 +2,13 @@
 float64 arithmetic format (paper refs [1], [9])."""
 
 from .base import TrafficCounter, VectorAccessor
-from .frsz2_accessor import DEFAULT_CACHE_BLOCKS, CacheStats, Frsz2Accessor
+from .frsz2_accessor import (
+    DEFAULT_CACHE_BLOCKS,
+    CacheStats,
+    Frsz2Accessor,
+    read_frsz2_tiles,
+    write_frsz2_batch,
+)
 from .precision import (
     Float16Accessor,
     Float32Accessor,
@@ -23,6 +29,8 @@ __all__ = [
     "CacheStats",
     "DEFAULT_CACHE_BLOCKS",
     "RoundTripAccessor",
+    "read_frsz2_tiles",
+    "write_frsz2_batch",
     "make_accessor",
     "accessor_factory",
     "list_storage_formats",

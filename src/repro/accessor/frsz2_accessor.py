@@ -33,6 +33,7 @@ __all__ = [
     "Frsz2Accessor",
     "DEFAULT_CACHE_BLOCKS",
     "read_frsz2_tiles",
+    "write_frsz2_batch",
 ]
 
 #: default decoded-block cache capacity (blocks); 0 disables the cache
@@ -338,7 +339,82 @@ def read_frsz2_tiles(accessors, i0: int, i1: int, out: np.ndarray) -> bool:
         [acc._compressed for acc in accessors], range(b0, b1)
     )
     lo = i0 - b0 * bs
+    # every accessor shares the layout, so the per-tile stored size is
+    # identical: compute it once and apply the same accounting
+    # _record_tile_read would, without recomputing it per accessor
+    nbytes = accessors[0].tile_stored_nbytes(i0, i1)
     for row, (acc, values) in enumerate(zip(accessors, tiles)):
-        acc._record_tile_read(i0, i1)
+        traffic = acc.traffic
+        traffic.bytes_read += nbytes
+        traffic.tile_reads += 1
+        if acc.tracer.enabled:
+            acc.tracer.count("accessor.tile_reads")
+            acc.tracer.count("accessor.bytes_read", nbytes)
         out[row, :i1 - i0] = values[lo:lo + (i1 - i0)]
+    return True
+
+
+def write_frsz2_batch(accessors, X: np.ndarray) -> bool:
+    """Compress one column of ``X`` into each accessor in a single pass.
+
+    The write-side counterpart of :func:`read_frsz2_tiles`: when every
+    accessor is a plain :class:`Frsz2Accessor` with identical codec
+    parameters, all columns encode in one
+    :meth:`~repro.core.frsz2.FRSZ2.compress_batch` call (one vectorized
+    exponent-reduce/shift/truncate pass instead of one per vector).
+    Each accessor's write is billed individually and its decoded-block
+    cache invalidated, exactly like a per-accessor
+    :meth:`~Frsz2Accessor.write` loop — which is the bitwise-identical
+    fallback this fast path is exchangeable with.
+
+    Parameters
+    ----------
+    accessors : sequence of VectorAccessor
+        Target accessors, one per column of ``X``.
+    X : ndarray, shape (n, B), dtype float64
+        Vectors to store; column ``c`` goes to ``accessors[c]``.
+
+    Returns
+    -------
+    bool
+        ``True`` if the batched encode ran; ``False`` when any accessor
+        is ineligible (wrapped/subclassed, or codec mismatch) and the
+        caller should fall back to per-accessor ``write``.
+
+    Raises
+    ------
+    ValueError
+        If any column contains NaN/Inf (from the codec) — the same
+        error a per-accessor write loop would raise, with no accessor
+        mutated (the whole batch is encoded before any store).
+    """
+    accessors = list(accessors)
+    if not accessors:
+        return False
+    for acc in accessors:
+        # exact type: a subclass may override write(), which the direct
+        # payload store below would silently bypass
+        if type(acc) is not Frsz2Accessor:
+            return False
+    c0 = accessors[0].codec
+    n = accessors[0].n
+    for acc in accessors[1:]:
+        if (
+            acc.n != n
+            or acc.codec.bit_length != c0.bit_length
+            or acc.codec.block_size != c0.block_size
+            or acc.codec.rounding != c0.rounding
+        ):
+            return False
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape != (n, len(accessors)):
+        raise ValueError(f"expected X of shape ({n}, {len(accessors)})")
+    columns = [
+        acc._check_write(X[:, c]) for c, acc in enumerate(accessors)
+    ]
+    compressed = c0.compress_batch(columns)
+    for acc, comp in zip(accessors, compressed):
+        acc._compressed = comp
+        acc.invalidate_cache()
+        acc._record_write()
     return True

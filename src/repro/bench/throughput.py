@@ -1,0 +1,424 @@
+"""Multi-RHS throughput bench: ``python -m repro throughput``.
+
+Measures what the batched solve path is *for*: aggregate solves per
+second.  Every grid cell solves the same ``B`` right-hand sides twice —
+
+* **loop** — ``B`` independent :meth:`~repro.solvers.gmres.CbGmres.solve`
+  calls, the baseline any caller could write today;
+* **batch** — one :meth:`~repro.solvers.gmres.CbGmres.solve_batch` over
+  the ``(n, B)`` block, which pays the FRSZ2 encode/decode passes and
+  the SpMV structure once per batch instead of once per vector —
+
+and records both wall clocks (best-of-``rounds``, the standard
+noise-robust estimate: preemption only ever makes a round slower).  The
+document is emitted as a schema-versioned ``BENCH_throughput.json`` so
+successive commits leave a comparable trajectory.
+
+Two correctness gates run inside every entry, not just in the test
+suite:
+
+* the batch result must match the loop result column for column
+  (solution bits, iteration counts, convergence flags);
+* a ``B == 1`` batch must be bit-identical to the plain solver —
+  history included — so the batched path is provably a superset of
+  today's behavior, never a numerically different sibling.
+
+The default grid is the codec-bound corner of the suite (``cfd2`` /
+``lung2`` at smoke scale over the FRSZ2 storages) because that is where
+basis compression dominates the solve and batching the codec pays;
+bandwidth-bound cells (``float64`` storage, restart-heavy
+``atmosmodd``) are reachable via ``--matrices`` / ``--storages`` but
+sit near parity by construction — there is no codec work to batch.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..observe import Tracer
+from ..solvers.basis import BASIS_MODES
+from ..solvers.gmres import CbGmres
+from ..solvers.problems import make_problem
+from ..sparse.engine import SPMV_FORMATS
+from ..sparse.suite import resolve_scale, suite_names
+
+__all__ = [
+    "THROUGHPUT_SCHEMA",
+    "THROUGHPUT_SCHEMA_VERSION",
+    "DEFAULT_THROUGHPUT_MATRICES",
+    "DEFAULT_THROUGHPUT_STORAGES",
+    "DEFAULT_THROUGHPUT_BATCH",
+    "run_throughput_entry",
+    "run_throughput",
+    "validate_throughput",
+    "write_throughput",
+    "load_throughput",
+]
+
+#: schema identifier embedded in every throughput document
+THROUGHPUT_SCHEMA = "repro.bench.throughput"
+#: bump on any incompatible change to the document layout
+THROUGHPUT_SCHEMA_VERSION = 1
+#: default grid: the codec-bound cells where batching the FRSZ2
+#: passes is the dominant win (see the module docstring)
+DEFAULT_THROUGHPUT_MATRICES = ("cfd2", "lung2")
+DEFAULT_THROUGHPUT_STORAGES = ("frsz2_16", "frsz2_32")
+#: simultaneous right-hand sides per batch (the acceptance point)
+DEFAULT_THROUGHPUT_BATCH = 8
+
+#: RHS column ``c`` of every entry is seeded ``_RHS_SEED_BASE + c`` —
+#: fixed so reruns time identical solves
+_RHS_SEED_BASE = 1000
+
+_ENTRY_SCALARS = {
+    "matrix": str,
+    "storage": str,
+    "n": int,
+    "nnz": int,
+    "batch": int,
+    "rounds": int,
+    "loop_wall_seconds": float,
+    "batch_wall_seconds": float,
+    "loop_solves_per_second": float,
+    "batch_solves_per_second": float,
+    "speedup": float,
+    "bit_identical_b1": bool,
+    "bit_identical_batch": bool,
+    "batched_spmv_calls": int,
+    "batched_basis_writes": int,
+    "batched_ortho_steps": int,
+}
+
+
+def _rhs_block(problem, batch: int) -> np.ndarray:
+    """The fixed ``(n, batch)`` RHS block for one grid cell."""
+    columns = []
+    for c in range(batch):
+        rng = np.random.default_rng(_RHS_SEED_BASE + c)
+        x = rng.standard_normal(problem.a.shape[1])
+        x /= np.linalg.norm(x)
+        columns.append(problem.a.matvec(x))
+    return np.stack(columns, axis=1)
+
+
+def _solver(problem, storage, m, max_iter, spmv_format, basis_mode,
+            tracer=None) -> CbGmres:
+    kwargs = {} if tracer is None else {"tracer": tracer}
+    return CbGmres(
+        problem.a, storage, m=m, max_iter=max_iter,
+        spmv_format=spmv_format, basis_mode=basis_mode, **kwargs,
+    )
+
+
+def run_throughput_entry(
+    matrix: str,
+    storage: str,
+    scale: str = "smoke",
+    m: int = 30,
+    max_iter: int = 400,
+    batch: int = DEFAULT_THROUGHPUT_BATCH,
+    rounds: int = 3,
+    target_rrn: Optional[float] = None,
+    spmv_format: str = "csr",
+    basis_mode: str = "cached",
+) -> dict:
+    """Time one grid cell and return its ``entries[]`` element.
+
+    Raises
+    ------
+    ValueError
+        If the batched solve is *not* bit-identical to the loop (column
+        for column), or a ``B == 1`` batch is not bit-identical to the
+        plain solver — a broken identity contract must fail the bench,
+        not ship inside a throughput number.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    problem = make_problem(matrix, scale, target_rrn=target_rrn)
+    target = problem.target_rrn
+    B = _rhs_block(problem, batch)
+
+    loop_wall = batch_wall = float("inf")
+    loop_results = batch_result = None
+    for _ in range(rounds):
+        solver = _solver(problem, storage, m, max_iter,
+                         spmv_format, basis_mode)
+        t0 = time.perf_counter()
+        results = [
+            solver.solve(B[:, c], target, record_history=False)
+            for c in range(batch)
+        ]
+        elapsed = time.perf_counter() - t0
+        if elapsed < loop_wall:
+            loop_wall, loop_results = elapsed, results
+
+        solver = _solver(problem, storage, m, max_iter,
+                         spmv_format, basis_mode)
+        t0 = time.perf_counter()
+        result = solver.solve_batch(B, target, record_history=False)
+        elapsed = time.perf_counter() - t0
+        if elapsed < batch_wall:
+            batch_wall, batch_result = elapsed, result
+
+    # gate 1: the timed batch must equal the timed loop, column for
+    # column — otherwise the speedup compares two different solves
+    for c, (solo, col) in enumerate(zip(loop_results, batch_result)):
+        if not (
+            np.array_equal(solo.x, col.x)
+            and solo.iterations == col.iterations
+            and solo.converged == col.converged
+            and solo.final_rrn == col.final_rrn
+        ):
+            raise ValueError(
+                f"{matrix}/{storage}: batch column {c} diverged from its "
+                "loop solve — bit-identity contract broken"
+            )
+
+    # gate 2: a B == 1 batch is the plain solver, history included
+    solo = _solver(problem, storage, m, max_iter,
+                   spmv_format, basis_mode).solve(B[:, 0], target)
+    b1 = _solver(problem, storage, m, max_iter,
+                 spmv_format, basis_mode).solve_batch(B[:, :1], target)[0]
+    if not (
+        np.array_equal(solo.x, b1.x)
+        and solo.iterations == b1.iterations
+        and [s.rrn for s in solo.history] == [s.rrn for s in b1.history]
+    ):
+        raise ValueError(
+            f"{matrix}/{storage}: B=1 solve_batch is not bit-identical "
+            "to CbGmres.solve — identity contract broken"
+        )
+
+    # one untimed traced batch for the batched-kernel counters
+    tracer = Tracer()
+    counted = _solver(problem, storage, m, max_iter,
+                      spmv_format, basis_mode, tracer=tracer)
+    stats = counted.solve_batch(B, target, record_history=False)
+
+    return {
+        "matrix": matrix,
+        "storage": storage,
+        "n": int(problem.a.shape[0]),
+        "nnz": int(problem.a.nnz),
+        "batch": int(batch),
+        "rounds": int(rounds),
+        "iterations": [int(r.iterations) for r in batch_result],
+        "converged": [bool(r.converged) for r in batch_result],
+        "loop_wall_seconds": float(loop_wall),
+        "batch_wall_seconds": float(batch_wall),
+        "loop_solves_per_second": float(batch / loop_wall),
+        "batch_solves_per_second": float(batch / batch_wall),
+        "speedup": float(loop_wall / batch_wall),
+        "bit_identical_b1": True,
+        "bit_identical_batch": True,
+        "batched_spmv_calls": int(stats.batched_spmv_calls),
+        "batched_basis_writes": int(stats.batched_basis_writes),
+        "batched_ortho_steps": int(stats.batched_ortho_steps),
+    }
+
+
+def run_throughput(
+    matrices: Optional[Sequence[str]] = None,
+    storages: Optional[Sequence[str]] = None,
+    scale: Optional[str] = "smoke",
+    m: int = 30,
+    max_iter: int = 400,
+    batch: int = DEFAULT_THROUGHPUT_BATCH,
+    rounds: int = 3,
+    target_rrn: Optional[float] = None,
+    spmv_format: str = "csr",
+    basis_mode: str = "cached",
+) -> dict:
+    """Run the full grid and return the schema-versioned document.
+
+    The grid always runs serially: every cell is a wall-clock
+    measurement, and concurrent cells would contend for cores and
+    corrupt each other's numbers.
+
+    The ``aggregate`` block is the headline: total solves over total
+    wall seconds for both strategies, and their ratio — the document's
+    ``aggregate.speedup`` is what the CI throughput-smoke gate checks.
+    """
+    if spmv_format not in SPMV_FORMATS:
+        raise ValueError(
+            f"unknown SpMV format {spmv_format!r}; "
+            f"expected one of {SPMV_FORMATS}"
+        )
+    if basis_mode not in BASIS_MODES:
+        raise ValueError(
+            f"unknown basis_mode {basis_mode!r}; expected one of {BASIS_MODES}"
+        )
+    scale = resolve_scale(scale)
+    matrices = list(matrices) if matrices else list(DEFAULT_THROUGHPUT_MATRICES)
+    storages = list(storages) if storages else list(DEFAULT_THROUGHPUT_STORAGES)
+    unknown = [name for name in matrices if name not in suite_names()]
+    if unknown:
+        raise KeyError(
+            f"unknown matrices {unknown}; suite: {', '.join(suite_names())}"
+        )
+    entries = [
+        run_throughput_entry(
+            matrix, storage, scale=scale, m=m, max_iter=max_iter,
+            batch=batch, rounds=rounds, target_rrn=target_rrn,
+            spmv_format=spmv_format, basis_mode=basis_mode,
+        )
+        for matrix in matrices
+        for storage in storages
+    ]
+    loop_total = sum(e["loop_wall_seconds"] for e in entries)
+    batch_total = sum(e["batch_wall_seconds"] for e in entries)
+    solves = sum(e["batch"] for e in entries)
+    return {
+        "schema": THROUGHPUT_SCHEMA,
+        "schema_version": THROUGHPUT_SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "scale": scale,
+        "restart": int(m),
+        "max_iter": int(max_iter),
+        "batch": int(batch),
+        "rounds": int(rounds),
+        "spmv_format": str(spmv_format),
+        "basis_mode": str(basis_mode),
+        "matrices": matrices,
+        "storages": storages,
+        "entries": entries,
+        "aggregate": {
+            "solves": int(solves),
+            "loop_wall_seconds": float(loop_total),
+            "batch_wall_seconds": float(batch_total),
+            "loop_solves_per_second": float(solves / loop_total),
+            "batch_solves_per_second": float(solves / batch_total),
+            "speedup": float(loop_total / batch_total),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# schema validation + persistence
+# ----------------------------------------------------------------------
+
+
+def _expect(cond: bool, where: str, message: str) -> None:
+    if not cond:
+        raise ValueError(f"throughput schema violation at {where}: {message}")
+
+
+def _expect_number(value: object, where: str) -> None:
+    _expect(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        where,
+        f"expected a number, got {type(value).__name__}",
+    )
+    _expect(value == value and value not in (float("inf"), float("-inf")),
+            where, "number must be finite")
+
+
+def validate_throughput(doc: dict) -> None:
+    """Validate a throughput document; raises ``ValueError`` naming the
+    field."""
+    _expect(isinstance(doc, dict), "$", "document must be an object")
+    _expect(doc.get("schema") == THROUGHPUT_SCHEMA, "$.schema",
+            f"expected {THROUGHPUT_SCHEMA!r}, got {doc.get('schema')!r}")
+    _expect(doc.get("schema_version") == THROUGHPUT_SCHEMA_VERSION,
+            "$.schema_version",
+            f"expected {THROUGHPUT_SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}")
+    for key in ("created", "scale", "spmv_format", "basis_mode"):
+        _expect(isinstance(doc.get(key), str), f"$.{key}", "expected a string")
+    _expect(doc["spmv_format"] in ("auto", "csr", "ell", "sell"),
+            "$.spmv_format",
+            f"expected one of auto/csr/ell/sell, got {doc['spmv_format']!r}")
+    _expect(doc["basis_mode"] in BASIS_MODES, "$.basis_mode",
+            f"expected one of {'/'.join(BASIS_MODES)}, "
+            f"got {doc['basis_mode']!r}")
+    for key in ("restart", "max_iter", "batch", "rounds"):
+        _expect(isinstance(doc.get(key), int) and doc[key] > 0,
+                f"$.{key}", "expected a positive integer")
+    for key in ("matrices", "storages"):
+        _expect(
+            isinstance(doc.get(key), list) and doc[key]
+            and all(isinstance(v, str) for v in doc[key]),
+            f"$.{key}", "expected a non-empty list of strings",
+        )
+    entries = doc.get("entries")
+    _expect(isinstance(entries, list) and entries, "$.entries",
+            "expected a non-empty list")
+    for i, entry in enumerate(entries):
+        where = f"$.entries[{i}]"
+        _expect(isinstance(entry, dict), where, "expected an object")
+        for key, typ in _ENTRY_SCALARS.items():
+            _expect(key in entry, f"{where}.{key}", "missing required field")
+            if typ is float:
+                _expect_number(entry[key], f"{where}.{key}")
+            elif typ is int:
+                _expect(
+                    isinstance(entry[key], int)
+                    and not isinstance(entry[key], bool),
+                    f"{where}.{key}", "expected an integer",
+                )
+            elif typ is bool:
+                _expect(isinstance(entry[key], bool), f"{where}.{key}",
+                        "expected a boolean")
+            else:
+                _expect(isinstance(entry[key], str), f"{where}.{key}",
+                        "expected a string")
+        _expect(entry["bit_identical_b1"] is True,
+                f"{where}.bit_identical_b1",
+                "the B=1 identity gate must have passed")
+        _expect(entry["bit_identical_batch"] is True,
+                f"{where}.bit_identical_batch",
+                "the batch-vs-loop identity gate must have passed")
+        for key in ("iterations", "converged"):
+            _expect(
+                isinstance(entry.get(key), list)
+                and len(entry[key]) == entry["batch"],
+                f"{where}.{key}", "expected one element per batch column",
+            )
+        _expect(all(isinstance(v, int) and not isinstance(v, bool)
+                    for v in entry["iterations"]),
+                f"{where}.iterations", "expected integers")
+        _expect(all(isinstance(v, bool) for v in entry["converged"]),
+                f"{where}.converged", "expected booleans")
+        for key in ("loop_wall_seconds", "batch_wall_seconds"):
+            _expect(entry[key] > 0, f"{where}.{key}", "must be positive")
+    aggregate = doc.get("aggregate")
+    _expect(isinstance(aggregate, dict), "$.aggregate", "expected an object")
+    _expect(
+        set(aggregate) == {"solves", "loop_wall_seconds",
+                           "batch_wall_seconds", "loop_solves_per_second",
+                           "batch_solves_per_second", "speedup"},
+        "$.aggregate", f"unexpected aggregate keys {sorted(aggregate)}",
+    )
+    _expect(
+        isinstance(aggregate["solves"], int)
+        and not isinstance(aggregate["solves"], bool)
+        and aggregate["solves"] > 0,
+        "$.aggregate.solves", "expected a positive integer",
+    )
+    for key in ("loop_wall_seconds", "batch_wall_seconds",
+                "loop_solves_per_second", "batch_solves_per_second",
+                "speedup"):
+        _expect_number(aggregate[key], f"$.aggregate.{key}")
+        _expect(aggregate[key] > 0, f"$.aggregate.{key}", "must be positive")
+
+
+def write_throughput(doc: dict, path: str) -> None:
+    """Validate then write a throughput document as pretty-printed JSON."""
+    validate_throughput(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_throughput(path: str) -> dict:
+    """Read and validate a throughput document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_throughput(doc)
+    return doc

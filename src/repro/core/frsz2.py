@@ -73,6 +73,17 @@ class Frsz2Compressed:
 
 _ALIGNED_DTYPES = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}
 
+#: ceiling on the number of float64 values staged per batched-encode
+#: chunk (2 MiB of staging); keeps ``compress_batch`` peak transient
+#: memory bounded independent of the batch size
+_BATCH_CHUNK_VALUES = 1 << 18
+
+#: values per batched-decode chunk: large enough to amortize the
+#: ~20-ufunc decode pipeline's Python overhead, small enough that its
+#: elementwise temporaries (~a dozen 8-byte-per-value arrays) stay
+#: cache-resident instead of streaming through DRAM
+_DECODE_CHUNK_VALUES = 1 << 14
+
 
 class FRSZ2:
     """The FRSZ2 fixed-rate compressor.
@@ -210,13 +221,15 @@ class FRSZ2:
         """Turn ``n`` encoded l-bit fields into the stored payload array."""
         l = self.bit_length
         if layout.is_aligned:
-            payload = fields.astype(_ALIGNED_DTYPES[l])
-            # Pad to the full block grid so Eq. 3 storage holds.
+            # Allocate the padded grid once (Eq. 3 storage) and write the
+            # fields into it; the tail stays zero.  The assignment casts
+            # uint64 -> narrow dtype exactly like the former astype +
+            # concatenate pair (fields are < 2**l, so no truncation),
+            # keeping containers bit-identical while avoiding a second
+            # allocation + copy per vector.
             full = layout.num_blocks * self.block_size
-            if payload.size < full:
-                payload = np.concatenate(
-                    [payload, np.zeros(full - payload.size, dtype=payload.dtype)]
-                )
+            payload = np.zeros(full, dtype=_ALIGNED_DTYPES[l])
+            payload[: fields.size] = fields
             return payload
         payload = np.zeros(layout.value_words, dtype=np.uint32)
         bitpos = self._bit_positions(np.arange(fields.size, dtype=np.int64), layout)
@@ -258,24 +271,40 @@ class FRSZ2:
         layout = self.layout_for(n)
         bs = self.block_size
         padded = layout.num_blocks * bs
-        stacked = np.zeros((len(arrays), padded), dtype=np.float64)
-        for i, a in enumerate(arrays):
-            stacked[i, :n] = a
-        # One vectorized encode over every block of every vector.  Zero
-        # padding cannot raise a block exponent (zeros contribute the
-        # minimum e_max candidate) and encodes to all-zero fields, so the
-        # split results match the per-vector encode exactly.
-        fields, exponents = self._encode_fields(stacked.ravel())
-        fields = fields.reshape(len(arrays), padded)
-        exponents = exponents.reshape(len(arrays), layout.num_blocks)
-        out = [
-            Frsz2Compressed(
-                layout=layout,
-                exponents=np.ascontiguousarray(exponents[i]),
-                payload=self._pack_fields(fields[i, :n], layout),
+        # Encode in bounded chunks: the float64 staging rectangle (and
+        # the uint64 field array the encode returns) covers at most
+        # _BATCH_CHUNK_VALUES values regardless of batch size, so peak
+        # transient memory is independent of B (the streaming-basis
+        # guarantee from PR 5 would otherwise be undone here).  Each
+        # vector pads to a whole number of blocks before concatenation,
+        # so no block straddles two vectors and chunk boundaries fall on
+        # vector boundaries — results are bit-identical to the unchunked
+        # encode.  Zero padding cannot raise a block exponent (zeros
+        # contribute the minimum e_max candidate) and encodes to
+        # all-zero fields, so the split results match the per-vector
+        # encode exactly.
+        chunk_vecs = max(1, _BATCH_CHUNK_VALUES // max(padded, 1))
+        staging = np.zeros((min(chunk_vecs, len(arrays)), padded), dtype=np.float64)
+        out: "List[Frsz2Compressed]" = []
+        for start in range(0, len(arrays), chunk_vecs):
+            chunk = arrays[start : start + chunk_vecs]
+            for i, a in enumerate(chunk):
+                # only [:n] is ever written, so the pad columns stay zero
+                # across reuses of the staging buffer
+                staging[i, :n] = a
+            fields, exponents = self._encode_fields(
+                staging[: len(chunk)].reshape(-1)
             )
-            for i in range(len(arrays))
-        ]
+            fields = fields.reshape(len(chunk), padded)
+            exponents = exponents.reshape(len(chunk), layout.num_blocks)
+            out.extend(
+                Frsz2Compressed(
+                    layout=layout,
+                    exponents=np.ascontiguousarray(exponents[i]),
+                    payload=self._pack_fields(fields[i, :n], layout),
+                )
+                for i in range(len(chunk))
+            )
         if self.tracer.enabled:
             self.tracer.count("frsz2.compress_batch.calls")
             self.tracer.count("frsz2.compress_batch.vectors", len(arrays))
@@ -304,6 +333,62 @@ class FRSZ2:
             return comp.payload[indices].astype(np.uint64)
         bitpos = self._bit_positions(indices, comp.layout)
         return bitpack.unpack_at(comp.payload, bitpos, l)
+
+    def _decode_containers(
+        self,
+        comps: "Sequence[Frsz2Compressed]",
+        flat: np.ndarray,
+        e_block: np.ndarray,
+    ) -> np.ndarray:
+        """Decode positions ``flat`` of every same-layout container.
+
+        The shared engine of the batched decompress paths.  The decode
+        pipeline allocates ~a dozen elementwise temporaries spanning its
+        whole input, so one giant fused pass over a large batch streams
+        through DRAM instead of cache; this helper splits the (bitwise
+        order-independent) transform into cache-resident chunks — within
+        a container for long streams, across grouped containers for
+        short ones — while every value stays bit-identical to a solo
+        :meth:`decompress` of its container.
+
+        Returns the concatenated values, ``m`` per container.
+        """
+        m = int(flat.size)
+        chunk = _DECODE_CHUNK_VALUES
+        if m * len(comps) <= chunk:
+            # small enough that one fused pass stays cache-resident
+            fields = np.concatenate([self._read_fields(c, flat) for c in comps])
+            e_max = np.concatenate(
+                [c.exponents.astype(np.int64)[e_block] for c in comps]
+            )
+            return self._decode_fields(fields, e_max)
+        values = np.empty(len(comps) * m)
+        if m >= chunk:
+            for i, c in enumerate(comps):
+                fields = self._read_fields(c, flat)
+                e_max = c.exponents.astype(np.int64)[e_block]
+                base = i * m
+                for s in range(0, m, chunk):
+                    e = min(s + chunk, m)
+                    values[base + s:base + e] = self._decode_fields(
+                        fields[s:e], e_max[s:e]
+                    )
+            return values
+        # many small containers: fuse whole containers into chunk-sized
+        # groups so each decode pass amortizes its Python overhead
+        group = max(1, chunk // m)
+        for g0 in range(0, len(comps), group):
+            gcomps = comps[g0:g0 + group]
+            fields = np.concatenate(
+                [self._read_fields(c, flat) for c in gcomps]
+            )
+            e_max = np.concatenate(
+                [c.exponents.astype(np.int64)[e_block] for c in gcomps]
+            )
+            values[g0 * m:(g0 + len(gcomps)) * m] = self._decode_fields(
+                fields, e_max
+            )
+        return values
 
     def _decode_fields(
         self, fields: np.ndarray, e_max_per_value: np.ndarray
@@ -481,12 +566,9 @@ class FRSZ2:
             return [self.decompress(c) for c in comps]
         n = first.n
         indices = np.arange(n, dtype=np.int64)
-        fields = np.concatenate([self._read_fields(c, indices) for c in comps])
-        e_max = np.concatenate([
-            np.repeat(c.exponents.astype(np.int64), first.block_size)[:n]
-            for c in comps
-        ])
-        values = self._decode_fields(fields, e_max)
+        values = self._decode_containers(
+            comps, indices, indices // first.block_size
+        )
         if self.tracer.enabled:
             self.tracer.count("frsz2.decompress_batch.calls")
             self.tracer.count("frsz2.decompress_batch.vectors", len(comps))
@@ -548,12 +630,7 @@ class FRSZ2:
         grid = idx[:, None] * bs + np.arange(bs, dtype=np.int64)[None, :]
         valid = grid < first.n
         flat = grid.ravel()[valid.ravel()]
-        fields = np.concatenate([self._read_fields(c, flat) for c in comps])
-        e_block = flat // bs
-        e_max = np.concatenate(
-            [c.exponents.astype(np.int64)[e_block] for c in comps]
-        )
-        values = self._decode_fields(fields, e_max)
+        values = self._decode_containers(comps, flat, flat // bs)
         m = int(flat.size)
         out = [values[i * m:(i + 1) * m] for i in range(len(comps))]
         if self.tracer.enabled:

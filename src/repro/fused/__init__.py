@@ -1,5 +1,6 @@
 """Fused compressed-basis kernels (tile-streaming ``V^T w`` / ``V y``)."""
 
+from .batch import BatchTileReader, axpy_batch, dot_basis_batch
 from .kernels import (
     DEFAULT_TILE_ELEMS,
     CachedTileReader,
@@ -15,12 +16,15 @@ from .kernels import (
 
 __all__ = [
     "DEFAULT_TILE_ELEMS",
+    "BatchTileReader",
     "CachedTileReader",
     "FusedOpLog",
     "StreamingTileReader",
     "TileReader",
+    "axpy_batch",
     "axpy_fused",
     "combine_fused",
+    "dot_basis_batch",
     "dot_basis_fused",
     "norm_fused",
     "tile_grid",

@@ -62,7 +62,7 @@ from ..robust.fallback import FallbackPolicy
 from .bus import ProgressBus, ProgressEvent
 from .jobs import AttemptRecord, JobRecord, JobSpec, JobState, TERMINAL_STATES
 from .queue import AdmissionController, RejectedError
-from .worker import run_solve_job
+from .worker import run_solve_batch_job, run_solve_job
 
 __all__ = ["ServeConfig", "SolveEngine"]
 
@@ -100,6 +100,17 @@ class ServeConfig:
         Escalate the storage format one fallback-chain step per retry.
     seed : int
         Root seed of the backoff jitter streams (determinism).
+    coalesce : bool
+        Opt-in throughput mode: queued jobs whose specs differ only in
+        ``rhs_seed`` (same matrix, scale, solver configuration) are
+        dispatched as **one** multi-RHS worker task running
+        :meth:`~repro.solvers.gmres.CbGmres.solve_batch` — matrix build
+        and FRSZ2 codec passes are paid once per batch.  Per-job results
+        stay bit-identical to solo runs.  Chaos jobs, deadline jobs and
+        retry attempts never coalesce; a cancelled batch member is
+        finished engine-side while its peers keep computing.
+    max_batch : int
+        Largest coalesced batch (right-hand-side columns per task).
     """
 
     workers: int = 2
@@ -112,10 +123,14 @@ class ServeConfig:
     cancel_grace_s: float = 0.5
     degrade_on_retry: bool = True
     seed: int = 0
+    coalesce: bool = False
+    max_batch: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
@@ -141,7 +156,8 @@ class SolveEngine:
         self._cond = threading.Condition(self._lock)
         self._jobs: Dict[str, JobRecord] = {}
         self._ready: Deque[JobRecord] = deque()
-        self._by_task: Dict[int, JobRecord] = {}
+        #: task id -> member jobs (singleton list for solo dispatches)
+        self._by_task: Dict[int, List[JobRecord]] = {}
         self._task_of: Dict[str, PoolTask] = {}
         self._ids = itertools.count(1)
         self._draining = False
@@ -315,11 +331,47 @@ class SolveEngine:
         # cap by our own in-flight count, not pool.idle_workers: the pool
         # assigns queued tasks lazily, so idle_workers would let the whole
         # backlog flood in and sit pending with the heartbeat clock running
-        while self._ready and len(self._task_of) < self.config.workers:
+        while self._ready and len(self._by_task) < self.config.workers:
             job = self._ready.popleft()
             if job.terminal:
                 continue
-            self._start_attempt(job)
+            batch = self._gather_batch_locked(job)
+            if len(batch) > 1:
+                self._start_batch_attempt(batch)
+            else:
+                self._start_attempt(job)
+
+    def _batchable(self, job: JobRecord) -> bool:
+        """Only pristine jobs coalesce: first attempt, no chaos plan, no
+        deadline (a shared task cannot honor one member's wall budget),
+        no pending cancel."""
+        return (
+            not job.attempts
+            and job.spec.chaos is None
+            and self._deadline_of(job) is None
+            and not job.cancel_requested
+        )
+
+    def _batch_key(self, job: JobRecord):
+        key = job.spec.to_dict()
+        key.pop("rhs_seed")        # the one thing members may vary
+        key.pop("progress_every")  # per-column in the batch worker
+        return tuple(sorted(key.items()))
+
+    def _gather_batch_locked(self, job: JobRecord) -> List[JobRecord]:
+        batch = [job]
+        if not self.config.coalesce or not self._batchable(job):
+            return batch
+        key = self._batch_key(job)
+        for peer in list(self._ready):
+            if len(batch) >= self.config.max_batch:
+                break
+            if peer.terminal or not self._batchable(peer):
+                continue
+            if self._batch_key(peer) == key:
+                self._ready.remove(peer)
+                batch.append(peer)
+        return batch
 
     def _attempt_storage(self, job: JobRecord, attempt_index: int) -> str:
         if not self.config.degrade_on_retry:
@@ -353,13 +405,48 @@ class SolveEngine:
             self.admission.record_queue_wait(now - job.submitted_at)
         job.last_event_at = now
         job.transition(JobState.RUNNING)
-        self._by_task[task.id] = job
+        self._by_task[task.id] = [job]
         self._task_of[job.job_id] = task
         self._scope.scope(f"job.{job.job_id}").count("attempts")
         self.bus.publish(job.job_id, "attempt", {
             "attempt": attempt_index, "storage": storage,
         })
         self.bus.publish(job.job_id, "state", {"state": JobState.RUNNING})
+
+    def _start_batch_attempt(self, batch: List[JobRecord]) -> None:
+        # batched attempts are always first attempts (see _batchable),
+        # so no degradation bookkeeping applies
+        storage = batch[0].spec.storage
+        task = self._pool.submit(
+            run_solve_batch_job,
+            dict(
+                specs=[j.spec.to_dict() for j in batch],
+                job_ids=[j.job_id for j in batch],
+                attempt=1,
+                storage=storage,
+            ),
+            label=f"{batch[0].job_id}+{len(batch) - 1}[batch attempt 1]",
+            emit_kwarg="emit",
+        )
+        now = time.monotonic()
+        for job in batch:
+            job.attempts.append(
+                AttemptRecord(index=1, storage=storage, started_at=now)
+            )
+            job.first_started_at = now
+            self.admission.record_queue_wait(now - job.submitted_at)
+            job.last_event_at = now
+            job.transition(JobState.RUNNING)
+            self._task_of[job.job_id] = task
+            self._scope.scope(f"job.{job.job_id}").count("attempts")
+            self.bus.publish(job.job_id, "attempt", {
+                "attempt": 1, "storage": storage,
+                "batched_with": len(batch),
+            })
+            self.bus.publish(job.job_id, "state", {"state": JobState.RUNNING})
+        self._by_task[task.id] = list(batch)
+        self._scope.count("batches_dispatched")
+        self._scope.count("batched_jobs", len(batch))
 
     def _next_wait_locked(self) -> float:
         wait_s = 0.05
@@ -392,44 +479,92 @@ class SolveEngine:
     # -- pool events ----------------------------------------------------
 
     def _handle_pool_event(self, event) -> None:
-        job = self._by_task.get(event.task.id)
-        if job is None or job.terminal:
+        members = self._by_task.get(event.task.id)
+        if members is None:
             return
+        live = [j for j in members if not j.terminal]
+        now = time.monotonic()
         if event.kind == "started":
-            job.last_event_at = time.monotonic()
+            for job in live:
+                job.last_event_at = now
         elif event.kind == "progress":
-            job.last_event_at = time.monotonic()
             payload = dict(event.payload or {})
             payload.setdefault("kind", "progress")
-            self._scope.scope(f"job.{job.job_id}").count("progress_events")
-            self.bus.publish(job.job_id, "progress", payload)
+            # any member's progress proves the shared worker is alive
+            for job in live:
+                job.last_event_at = now
+            if len(members) == 1:
+                targets = live
+            else:  # batched events are routed by the job_id they carry
+                tid = payload.get("job_id")
+                targets = [j for j in live if j.job_id == tid]
+            for job in targets:
+                self._scope.scope(f"job.{job.job_id}").count("progress_events")
+                self.bus.publish(job.job_id, "progress", payload)
         elif event.kind == "done":
-            self._release_task(job)
-            job.attempts[-1].ended_at = time.monotonic()
-            job.attempts[-1].outcome = "done"
-            job.result = event.task.result
-            self._finish(job, JobState.DONE)
+            self._release_members(event.task, members)
+            if len(members) == 1:
+                job = members[0]
+                if job.terminal:
+                    return
+                job.attempts[-1].ended_at = now
+                job.attempts[-1].outcome = "done"
+                job.result = event.task.result
+                self._finish(job, JobState.DONE)
+            else:
+                payloads = (event.task.result or {}).get("results", {})
+                for job in live:
+                    job.attempts[-1].ended_at = now
+                    payload = payloads.get(job.job_id)
+                    if payload is None:
+                        self._attempt_failed(
+                            job, "error",
+                            "batch result missing this job's column",
+                        )
+                    else:
+                        job.attempts[-1].outcome = "done"
+                        job.result = payload
+                        self._finish(job, JobState.DONE)
         elif event.kind == "cancelled":
-            self._release_task(job)
-            job.attempts[-1].ended_at = time.monotonic()
-            job.attempts[-1].outcome = "cancelled"
-            self._finish(job, JobState.CANCELLED, "cancelled cooperatively")
+            self._release_members(event.task, members)
+            for job in live:
+                job.attempts[-1].ended_at = now
+                job.attempts[-1].outcome = "cancelled"
+                self._finish(job, JobState.CANCELLED, "cancelled cooperatively")
         elif event.kind == "error":
-            self._release_task(job)
-            self._attempt_failed(job, "error", repr(event.task.error))
+            self._release_members(event.task, members)
+            for job in live:
+                self._attempt_failed(job, "error", repr(event.task.error))
         elif event.kind == "crashed":
             self.crashes_observed += 1
             self._scope.count("worker_crashes")
-            self._release_task(job)
-            self._attempt_failed(
-                job, "crashed",
-                f"worker process died (exit code {event.task.exitcode})",
-            )
+            self._release_members(event.task, members)
+            for job in live:
+                self._attempt_failed(
+                    job, "crashed",
+                    f"worker process died (exit code {event.task.exitcode})",
+                )
 
-    def _release_task(self, job: JobRecord) -> None:
+    def _release_task(self, job: JobRecord) -> Optional[PoolTask]:
+        """Detach one job from its task; drops the task's member entry
+        when the last member leaves.  Returns the task (if any)."""
         task = self._task_of.pop(job.job_id, None)
         if task is not None:
-            self._by_task.pop(task.id, None)
+            members = self._by_task.get(task.id)
+            if members is not None:
+                remaining = [j for j in members if j is not job]
+                if remaining:
+                    self._by_task[task.id] = remaining
+                else:
+                    self._by_task.pop(task.id, None)
+        return task
+
+    def _release_members(self, task, members: List[JobRecord]) -> None:
+        self._by_task.pop(task.id, None)
+        for job in members:
+            held = self._task_of.get(job.job_id)
+            if held is not None and held.id == task.id:
+                self._task_of.pop(job.job_id)
 
     # -- failure/retry path ---------------------------------------------
 
@@ -503,6 +638,8 @@ class SolveEngine:
             )
             if job.state == JobState.RUNNING:
                 task = self._task_of.get(job.job_id)
+                members = self._by_task.get(task.id) if task is not None else None
+                batched = members is not None and len(members) > 1
                 if over_deadline:
                     self.timeouts_enforced += 1
                     self._scope.count("deadline_kills")
@@ -517,7 +654,24 @@ class SolveEngine:
                     )
                     continue
                 if job.cancel_requested:
-                    if job.cancel_requested_at is None:
+                    if batched:
+                        # detach the member engine-side; the shared task
+                        # keeps computing for its peers, and is only
+                        # killed when no live member remains
+                        self._release_task(job)
+                        job.attempts[-1].ended_at = now
+                        job.attempts[-1].outcome = "cancelled"
+                        self._finish(
+                            job, JobState.CANCELLED,
+                            "cancelled; batch peers continue",
+                        )
+                        if (
+                            task is not None
+                            and task.id not in self._by_task
+                            and not task.terminal
+                        ):
+                            self._pool.kill(task)
+                    elif job.cancel_requested_at is None:
                         job.cancel_requested_at = now
                         if task is not None:
                             self._pool.request_cancel(task)
@@ -540,11 +694,18 @@ class SolveEngine:
                     self._scope.count("hang_kills")
                     if task is not None:
                         self._pool.kill(task)
-                    self._release_task(job)
-                    self._attempt_failed(
-                        job, "hung",
-                        f"no heartbeat for {self.config.heartbeat_timeout_s:g}s",
+                    peers = (
+                        [m for m in members if not m.terminal]
+                        if batched
+                        else [job]
                     )
+                    for peer in peers:
+                        self._release_task(peer)
+                        self._attempt_failed(
+                            peer, "hung",
+                            f"no heartbeat for "
+                            f"{self.config.heartbeat_timeout_s:g}s",
+                        )
             elif job.state == JobState.RETRY_WAIT:
                 if over_deadline:
                     self._finish(

@@ -28,7 +28,7 @@ contract with the engine:
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,7 +43,7 @@ from ..robust.chaos import (
 from ..solvers.gmres import CbGmres
 from ..solvers.problems import make_problem
 
-__all__ = ["IsolationError", "run_solve_job"]
+__all__ = ["IsolationError", "run_solve_job", "run_solve_batch_job"]
 
 
 class IsolationError(RuntimeError):
@@ -185,6 +185,154 @@ def run_solve_job(
                 str(k): (float(v) if isinstance(v, float) else int(v))
                 for k, v in sorted(tracer.counters.items())
             },
+        }
+    finally:
+        _ACTIVE_JOB = None
+
+
+def run_solve_batch_job(
+    specs: Sequence[Dict[str, Any]],
+    job_ids: Sequence[str],
+    attempt: int,
+    storage: str,
+    emit: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """Run one *batched* solve attempt over jobs sharing a matrix key.
+
+    The engine coalesces queued jobs whose specs differ only in
+    ``rhs_seed`` (same matrix, scale, solver configuration) into a
+    single worker task: the problem is built **once**, every job
+    contributes one right-hand-side column, and the whole block runs
+    through :meth:`~repro.solvers.gmres.CbGmres.solve_batch` — so the
+    matrix structure, FRSZ2 codec passes and tile sweeps are paid once
+    per batch instead of once per job.  Each job's numbers stay
+    bit-identical to what its own solo :func:`run_solve_job` attempt
+    would have produced (the ``solve_batch`` contract).
+
+    Parameters
+    ----------
+    specs : sequence of dict
+        Serialized :class:`repro.serve.jobs.JobSpec` per batch member;
+        all members must agree on everything except ``rhs_seed`` and
+        ``progress_every`` (the engine's batch key guarantees it).
+        Chaos plans are never batched.
+    job_ids : sequence of str
+        Engine identities aligned with ``specs``; progress events carry
+        the member's ``job_id`` so the engine can route them.
+    attempt : int
+        1-based attempt number (batched attempts are always first
+        attempts — retries run solo).
+    storage : str
+        Storage format shared by the whole batch.
+    emit : callable, optional
+        Progress channel injected by the pool.
+
+    Returns
+    -------
+    dict
+        ``{"results": {job_id: payload}}`` with one solo-shaped result
+        payload per member, plus batch-level bookkeeping.
+    """
+    global _ACTIVE_JOB, _JOBS_RUN
+    specs = list(specs)
+    job_ids = list(job_ids)
+    if not specs or len(specs) != len(job_ids):
+        raise ValueError("specs and job_ids must be equal-length and non-empty")
+    batch_tag = "+".join(job_ids)
+    if _ACTIVE_JOB is not None:
+        raise IsolationError(
+            f"worker started batch {batch_tag} while job {_ACTIVE_JOB} "
+            "still owns this process — per-job state leaked"
+        )
+    _ACTIVE_JOB = batch_tag
+    try:
+        t0 = time.perf_counter()
+        lead = specs[0]
+        problem = make_problem(
+            lead["matrix"], lead["scale"], target_rrn=lead.get("target_rrn")
+        )
+        columns = [_make_rhs(problem, spec.get("rhs_seed")) for spec in specs]
+        target = (
+            lead["target_rrn"]
+            if lead.get("target_rrn") is not None
+            else problem.target_rrn
+        )
+
+        tracer = Tracer()
+        every: List[int] = [
+            max(int(spec.get("progress_every", 25)), 1) for spec in specs
+        ]
+        emitted = 0
+
+        def monitor(col, iteration, j, basis, implicit_rrn) -> None:
+            nonlocal emitted
+            if emit is None:
+                return
+            if iteration % every[col] != 0 and j != 0:
+                return
+            emitted += 1
+            emit({
+                "kind": "progress",
+                "job_id": job_ids[col],
+                "iteration": int(iteration),
+                "restart_slot": int(j),
+                "implicit_rrn": float(implicit_rrn),
+                "phase_seconds": {
+                    phase: tracer.total_seconds(phase)
+                    for phase in _PROGRESS_PHASES
+                },
+            })
+
+        solver = CbGmres(
+            problem.a,
+            storage,
+            m=lead["m"],
+            max_iter=lead["max_iter"],
+            spmv_format=lead.get("spmv_format", "csr"),
+            basis_mode=lead.get("basis_mode", "cached"),
+            tracer=tracer,
+        )
+        batch = solver.solve_batch(
+            np.stack(columns, axis=1),
+            target,
+            record_history=False,
+            monitor=monitor,
+        )
+
+        _JOBS_RUN += 1
+        wall = float(time.perf_counter() - t0)
+        counters = {
+            str(k): (float(v) if isinstance(v, float) else int(v))
+            for k, v in sorted(tracer.counters.items())
+        }
+        results: Dict[str, Any] = {}
+        for job_id, result in zip(job_ids, batch.results):
+            results[job_id] = {
+                "job_id": job_id,
+                "attempt": int(attempt),
+                "x": result.x,
+                "converged": bool(result.converged),
+                "stalled": bool(result.stalled),
+                "iterations": int(result.iterations),
+                "final_rrn": float(result.final_rrn),
+                "target_rrn": float(result.target_rrn),
+                "storage_used": storage,
+                "recoveries": int(result.recoveries),
+                "breakdowns": len(result.breakdown_events),
+                # wall clock + tracer are per-batch, shared by members
+                "wall_seconds": wall,
+                "progress_events": int(emitted),
+                "worker_jobs_run": int(_JOBS_RUN),
+                "batch_columns": len(job_ids),
+                "counters": counters,
+            }
+        return {
+            "results": results,
+            "batch_columns": len(job_ids),
+            "batched_spmv_calls": int(batch.batched_spmv_calls),
+            "batched_basis_writes": int(batch.batched_basis_writes),
+            "batched_ortho_steps": int(batch.batched_ortho_steps),
+            "wall_seconds": wall,
         }
     finally:
         _ACTIVE_JOB = None

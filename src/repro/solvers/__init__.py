@@ -1,7 +1,8 @@
 """CB-GMRES solver stack (paper Fig. 1) and supporting numerics."""
 
 from .analysis import OrthogonalityTrace, basis_perturbation, trace_orthogonality
-from .basis import KrylovBasis
+from .basis import KrylovBasis, write_basis_vectors_batch
+from .block import BatchGmresResult, solve_batch
 from .calibration import CalibrationResult, calibrate_suite, calibrate_target
 from .fgmres import FlexibleGmres
 from .gmres import (
@@ -36,7 +37,10 @@ from .predictor import (
 from .problems import Problem, make_expected_solution, make_problem, make_rhs
 
 __all__ = [
+    "BatchGmresResult",
     "KrylovBasis",
+    "solve_batch",
+    "write_basis_vectors_batch",
     "OrthogonalityTrace",
     "basis_perturbation",
     "trace_orthogonality",

@@ -46,7 +46,7 @@ from ..fused import (
 )
 from ..observe import NULL_TRACER
 
-__all__ = ["KrylovBasis", "BASIS_MODES"]
+__all__ = ["KrylovBasis", "BASIS_MODES", "write_basis_vectors_batch"]
 
 #: supported basis modes (``--basis-mode`` on the CLI)
 BASIS_MODES = ("cached", "streaming")
@@ -280,3 +280,70 @@ class KrylovBasis:
                 # third-party accessors without clear(): the _written
                 # guard alone fences their stale payloads
                 pass
+
+
+def write_basis_vectors_batch(
+    bases: "List[KrylovBasis]", j: int, vectors: "List[np.ndarray]"
+) -> bool:
+    """Write ``vectors[i]`` into ``bases[i]`` slot ``j`` in one encode.
+
+    The batched-solve counterpart of :meth:`KrylovBasis.write_vector`:
+    when every target accessor is a plain FRSZ2 accessor with matching
+    codec parameters, all vectors compress in a single
+    :meth:`~repro.core.frsz2.FRSZ2.compress_batch` pass
+    (:func:`repro.accessor.frsz2_accessor.write_frsz2_batch`), then each
+    basis refreshes its cached view and write accounting exactly as a
+    per-basis ``write_vector`` loop would — the bitwise-identical
+    fallback this fast path is exchangeable with.
+
+    Returns
+    -------
+    bool
+        ``True`` if the batched encode ran and every basis is updated.
+        ``False`` when ineligible (fewer than two bases, shape mismatch,
+        a non-finite vector, wrapped accessors, codec mismatch, or a
+        storage rejection): **no basis is mutated** and the caller must
+        fall back to per-basis ``write_vector`` so per-column write
+        failures surface on the right column.
+    """
+    from ..accessor.frsz2_accessor import write_frsz2_batch
+
+    if len(bases) < 2 or len(bases) != len(vectors):
+        return False
+    n = bases[0].n
+    if any(b.n != n for b in bases):
+        return False
+    V = np.empty((n, len(bases)), order="F")
+    for i, v in enumerate(vectors):
+        v = np.asarray(v)
+        if v.shape != (n,):
+            return False
+        V[:, i] = v
+    if not np.all(np.isfinite(V)):
+        # a solo write of a non-finite vector raises on that column only
+        return False
+    accessors = [b.accessors[j] for b in bases]
+    try:
+        if not write_frsz2_batch(accessors, V):
+            return False
+    except (ValueError, OverflowError):
+        # all-or-nothing: the batch is encoded before any store, so a
+        # rejection leaves every accessor untouched
+        return False
+    # refresh the lossy cached views in one batched decode (the values
+    # are bit-identical to per-accessor read_into: decoding is an
+    # elementwise function of the container just stored)
+    cached = [(b, acc) for b, acc in zip(bases, accessors)
+              if b._cache is not None]
+    if cached:
+        codec = cached[0][1].codec
+        decoded = codec.decompress_batch(
+            [acc._compressed for _, acc in cached]
+        )
+        for (b, acc), values in zip(cached, decoded):
+            with b.tracer.span("basis_write", slot=j):
+                acc._record_read()
+                b._cache[:, j] = values
+    for b in bases:
+        b._written = max(b._written, j + 1)
+    return True

@@ -589,3 +589,55 @@ class CbGmres:
             breakdown_events=events,
             recovery_exhausted=exhausted,
         )
+
+    def solve_batch(
+        self,
+        B,
+        target_rrn,
+        x0: Optional[np.ndarray] = None,
+        record_history: bool = True,
+        monitor=None,
+    ):
+        """Solve ``A X = B`` for many right-hand sides in lockstep.
+
+        The batched path shares one matrix structure across all
+        columns: restart residuals and Arnoldi SpMVs run through the
+        multi-vector kernels (``A @ X``), orthogonalization streams
+        every column's stored basis in one stacked tile pass, and new
+        basis vectors FRSZ2-encode in a single
+        :meth:`~repro.core.frsz2.FRSZ2.compress_batch` call per step.
+        Column ``c`` of the result is **bit-identical** to
+        ``self.solve(B[:, c], ...)`` — converged/poisoned columns
+        simply leave the lockstep early (see
+        :mod:`repro.solvers.block`).
+
+        Parameters
+        ----------
+        B : ndarray (n, nrhs) or sequence of (n,) vectors
+            Right-hand sides, one per column.
+        target_rrn : float or sequence of float
+            Relative-residual target, shared or per column.
+        x0 : ndarray (n, nrhs), optional
+            Initial guesses (default: zero).
+        record_history : bool, default True
+            As in :meth:`solve`, per column.
+        monitor : callable, optional
+            ``monitor(col, iteration, j, basis, implicit_rrn)`` — the
+            :meth:`solve` hook with the column index prepended.
+
+        Returns
+        -------
+        BatchGmresResult
+            Per-column :class:`GmresResult` objects plus counters for
+            how much work ran through the batched fast paths.
+        """
+        from .block import solve_batch as _solve_batch
+
+        return _solve_batch(
+            self,
+            B,
+            target_rrn,
+            x0=x0,
+            record_history=record_history,
+            monitor=monitor,
+        )

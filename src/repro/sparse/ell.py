@@ -158,20 +158,51 @@ class ELLMatrix:
         if x.shape != (self.shape[1],):
             raise ValueError(f"expected x of shape ({self.shape[1]},)")
         with self.tracer.span("ell.matvec"):
-            if self.width > 0 and self.shape[0] >= _SLOTWISE_MIN_ROWS:
-                y = self._matvec_slotwise(x, out)
-            else:
-                # mode="clip" skips per-element bounds checking; the
-                # constructor already validated every column index
-                np.take(x, self.cols_t, out=self._work, mode="clip")
-                np.multiply(self.vals_t, self._work, out=self._work)
-                # reducing over the outer axis accumulates sequentially
-                # in row-entry order (bit-identical to the CSR bincount
-                # path); an empty axis yields the additive identity, so
-                # width == 0 needs no special case
-                y = np.add.reduce(self._work, axis=0, out=out)
+            # padding slots multiply their gathered x entry by 0.0; on
+            # non-finite x that product is an invalid operation whose NaN
+            # result is the intended propagation semantics — suppress the
+            # RuntimeWarning, not the arithmetic
+            with np.errstate(invalid="ignore"):
+                if self.width > 0 and self.shape[0] >= _SLOTWISE_MIN_ROWS:
+                    y = self._matvec_slotwise(x, out)
+                else:
+                    # mode="clip" skips per-element bounds checking; the
+                    # constructor already validated every column index
+                    np.take(x, self.cols_t, out=self._work, mode="clip")
+                    np.multiply(self.vals_t, self._work, out=self._work)
+                    # reducing over the outer axis accumulates sequentially
+                    # in row-entry order (bit-identical to the CSR bincount
+                    # path); an empty axis yields the additive identity, so
+                    # width == 0 needs no special case
+                    y = np.add.reduce(self._work, axis=0, out=out)
         self._count_spmv()
         return y
+
+    def matmat(self, X: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+        """``Y = A @ X`` for an ``(n, k)`` block of vectors.
+
+        Runs :meth:`matvec` once per column over a contiguous copy of
+        it, so column ``c`` is trivially bit-identical to
+        ``self.matvec(X[:, c])`` and billed exactly like it.  (A
+        column-vectorized slot sweep was measured slower here: its
+        ``(n, k)`` temporaries fall out of cache, while per-column
+        passes stay resident.)
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != self.shape[1]:
+            raise ValueError(f"expected X of shape ({self.shape[1]}, k)")
+        k = X.shape[1]
+        if out is None:
+            out = np.empty((self.shape[0], k), order="F")
+        elif out.shape != (self.shape[0], k):
+            raise ValueError(f"out must have shape ({self.shape[0]}, {k})")
+        for c in range(k):
+            col = out[:, c]
+            if col.flags.c_contiguous:
+                self.matvec(np.ascontiguousarray(X[:, c]), out=col)
+            else:
+                col[:] = self.matvec(np.ascontiguousarray(X[:, c]))
+        return out
 
     def _matvec_slotwise(self, x: np.ndarray, out: "np.ndarray | None") -> np.ndarray:
         """Accumulate one padded slot at a time (same per-row order)."""
@@ -216,6 +247,9 @@ class ELLMatrix:
         return self.to_csr().to_dense()
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim == 2:
+            return self.matmat(x)
         return self.matvec(x)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

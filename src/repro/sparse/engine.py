@@ -236,6 +236,19 @@ class SpmvEngine:
             impl.tracer = self.csr.tracer  # follow late tracer assignment
         return impl.matvec(x, out=out)
 
+    def matmat(self, X: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+        """Y = A @ X (multi-vector) through the selected format's kernel.
+
+        Every format's ``matmat`` is bit-identical per column to its own
+        ``matvec``, so the engine's multi-vector results inherit the
+        same cross-format bit-identity guarantees as the single-vector
+        path.
+        """
+        impl = self.impl
+        if impl is not self.csr:
+            impl.tracer = self.csr.tracer
+        return impl.matmat(X, out=out)
+
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         """x = A.T @ y through the selected format's kernel."""
         impl = self.impl
@@ -255,6 +268,9 @@ class SpmvEngine:
         return self.csr.to_dense()
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim == 2:
+            return self.matmat(x)
         return self.matvec(x)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

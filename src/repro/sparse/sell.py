@@ -246,14 +246,59 @@ class SELLMatrix:
         with self.tracer.span("sell.matvec"):
             y = out if out is not None else np.empty(self.shape[0])
             y[...] = 0.0
-            for rows, cols_t, vals_t, work in self._groups:
-                # mode="clip" skips per-element bounds checking; the
-                # constructor already validated every column index
-                np.take(x, cols_t, out=work, mode="clip")
-                np.multiply(vals_t, work, out=work)
-                y[rows] = np.add.reduce(work, axis=0)
+            # padding slots multiply a gathered x entry by 0.0; when x
+            # carries Inf/NaN that product is an invalid operation (the
+            # NaN it yields is the documented propagation behaviour, see
+            # test_nonfinite_inputs_are_never_silently_lost), so the
+            # warning — not the arithmetic — is suppressed here
+            with np.errstate(invalid="ignore"):
+                for rows, cols_t, vals_t, work in self._groups:
+                    # mode="clip" skips per-element bounds checking; the
+                    # constructor already validated every column index
+                    np.take(x, cols_t, out=work, mode="clip")
+                    np.multiply(vals_t, work, out=work)
+                    y[rows] = np.add.reduce(work, axis=0)
         self._count_spmv()
         return y
+
+    def matmat(self, X: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+        """``Y = A @ X`` for an ``(n, k)`` block of vectors.
+
+        Column ``c`` of the result is bit-identical to
+        ``self.matvec(X[:, c])``: each width group accumulates its slots
+        sequentially (the same left-to-right entry order the
+        single-vector ``np.add.reduce`` performs), vectorized over the
+        ``k`` columns.  Each column is billed as one SpMV call so the
+        per-column accounting matches a loop over :meth:`matvec`.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != self.shape[1]:
+            raise ValueError(f"expected X of shape ({self.shape[1]}, k)")
+        k = X.shape[1]
+        if out is None:
+            out = np.empty((self.shape[0], k), order="F")
+        elif out.shape != (self.shape[0], k):
+            raise ValueError(f"out must have shape ({self.shape[0]}, {k})")
+        with self.tracer.span("sell.matmat", columns=k):
+            out[...] = 0.0
+            # gather from a C-contiguous copy so each gathered row is
+            # one cache line for all k columns (exact copy: result bits
+            # unchanged)
+            Xc = np.ascontiguousarray(X)
+            with np.errstate(invalid="ignore"):
+                for rows, cols_t, vals_t, _ in self._groups:
+                    w, r = cols_t.shape
+                    acc = np.take(Xc, cols_t[0], axis=0, mode="clip")
+                    np.multiply(vals_t[0][:, None], acc, out=acc)
+                    g = np.empty_like(acc)
+                    for s in range(1, w):
+                        np.take(Xc, cols_t[s], axis=0, out=g, mode="clip")
+                        np.multiply(vals_t[s][:, None], g, out=g)
+                        np.add(acc, g, out=acc)
+                    out[rows, :] = acc
+        for _ in range(k):
+            self._count_spmv()
+        return out
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         """x = A.T @ y, vectorized (padding contributes exact zeros)."""
@@ -291,6 +336,9 @@ class SELLMatrix:
         return self.to_csr().to_dense()
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim == 2:
+            return self.matmat(x)
         return self.matvec(x)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

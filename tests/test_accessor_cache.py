@@ -206,6 +206,33 @@ class TestBatchCodec:
     def test_compress_batch_empty(self):
         assert FRSZ2().compress_batch([]) == []
 
+    @staticmethod
+    def _transient_encode_bytes(codec, nrhs, n):
+        """Peak scratch above the retained outputs for one batch encode."""
+        import gc
+        import tracemalloc
+
+        xs = [vec(n, seed=s) for s in range(nrhs)]
+        gc.collect()
+        tracemalloc.start()
+        comps = codec.compress_batch(xs)
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(comps) == nrhs
+        return peak - current
+
+    def test_compress_batch_staging_bounded_in_batch_size(self):
+        # regression: the batch encoder used to stage the whole batch as
+        # one dense (B, padded) float64 block, so transient memory grew
+        # linearly with B.  The chunked encoder's staging is bounded by
+        # the chunk size: an 8x wider batch must not need meaningfully
+        # more scratch (dense staging would show ~8x here).
+        codec = FRSZ2(bit_length=32)
+        n = 1 << 16
+        small = self._transient_encode_bytes(codec, 8, n)
+        large = self._transient_encode_bytes(codec, 64, n)
+        assert large <= small * 1.6 + (1 << 20), (small, large)
+
 
 class TestSolverBitIdentity:
     def test_cached_solve_matches_uncached(self):

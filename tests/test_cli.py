@@ -155,3 +155,62 @@ class TestBenchCommand:
     def test_bench_unknown_matrix(self, capsys):
         assert main(["bench", "--matrices", "not_a_matrix"]) == 2
         assert "unknown matrices" in capsys.readouterr().err
+
+
+class TestThroughputCommand:
+    def _run_throughput(self, tmp_path, name="tp.json", batch="2"):
+        out = tmp_path / name
+        rc = main([
+            "throughput", "--matrices", "lung2", "--storages", "frsz2_32",
+            "--batch", batch, "--rounds", "1", "--out", str(out),
+        ])
+        return rc, out
+
+    def test_throughput_parser_defaults(self):
+        args = build_parser().parse_args(["throughput"])
+        assert args.out == "BENCH_throughput.json"
+        assert args.scale == "smoke"
+        assert args.batch == 8
+        assert args.spmv_format == "csr"
+        assert args.min_speedup is None
+
+    def test_throughput_writes_valid_json(self, tmp_path, capsys):
+        rc, out = self._run_throughput(tmp_path)
+        assert rc == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "lung2" in text and "aggregate" in text
+        assert main(["throughput", "--check", str(out)]) == 0
+
+    def test_throughput_check_rejects_corrupt_file(self, tmp_path, capsys):
+        rc, out = self._run_throughput(tmp_path)
+        assert rc == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        doc["schema_version"] = 999
+        out.write_text(json.dumps(doc))
+        assert main(["throughput", "--check", str(out)]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_throughput_check_rejects_identity_tampering(self, tmp_path, capsys):
+        rc, out = self._run_throughput(tmp_path)
+        assert rc == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        doc["entries"][0]["bit_identical_b1"] = False
+        out.write_text(json.dumps(doc))
+        assert main(["throughput", "--check", str(out)]) == 2
+        assert "bit_identical" in capsys.readouterr().err
+
+    def test_throughput_min_speedup_gate(self, tmp_path, capsys):
+        rc, out = self._run_throughput(tmp_path)
+        assert rc == 0
+        assert main([
+            "throughput", "--check", str(out), "--min-speedup", "1000",
+        ]) == 1
+        assert "below" in capsys.readouterr().err
+
+    def test_throughput_unknown_matrix(self, capsys):
+        assert main(["throughput", "--matrices", "not_a_matrix"]) == 2

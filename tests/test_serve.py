@@ -377,6 +377,162 @@ class TestEngine:
             validate_serve_health(broken)
 
 
+# -- batch coalescing ---------------------------------------------------
+
+
+class TestCoalescing:
+    """Opt-in multi-RHS coalescing (``ServeConfig(coalesce=True)``)."""
+
+    @staticmethod
+    def _occupy_and_queue(engine, nrhs):
+        """Fill the single worker with a hang, queue ``nrhs`` batchable
+        jobs behind it, then cancel the hang so the freed dispatch slot
+        gathers the queued peers into one batch."""
+        hang = engine.submit(_spec(chaos=HANG, max_retries=0))
+        time.sleep(0.4)  # let the hang start and occupy the worker
+        jobs = [engine.submit(_spec(rhs_seed=i)) for i in range(nrhs)]
+        assert all(j.state == JobState.QUEUED for j in jobs)
+        engine.cancel(hang.job_id)
+        return jobs
+
+    def test_coalesced_jobs_bit_identical_to_solo(self):
+        tracer = Tracer()
+        attempts = []
+        config = _config(workers=1, coalesce=True, cancel_grace_s=0.2,
+                         heartbeat_timeout_s=30.0)
+        with SolveEngine(config, tracer=tracer) as engine:
+            engine.subscribe(
+                lambda e: attempts.append(e) if e.kind == "attempt" else None
+            )
+            jobs = self._occupy_and_queue(engine, 3)
+            assert engine.drain(timeout=60)
+        for job in jobs:
+            assert job.state == JobState.DONE
+            assert job.result["batch_columns"] == 3
+        # one batched dispatch, announced on every member's event stream
+        assert tracer.counters["serve.batches_dispatched"] == 1
+        assert tracer.counters["serve.batched_jobs"] == 3
+        batched_events = {
+            e.job_id: e.payload["batched_with"]
+            for e in attempts
+            if "batched_with" in e.payload
+        }
+        assert batched_events == {j.job_id: 3 for j in jobs}
+        # the coalesced columns are bit-identical to solo attempts
+        for i, job in enumerate(jobs):
+            ref = run_solve_job(
+                _spec(rhs_seed=i).to_dict(), "ref", 1, "frsz2_32"
+            )
+            assert np.array_equal(job.result["x"], ref["x"])
+            assert job.result["iterations"] == ref["iterations"]
+            assert job.result["final_rrn"] == ref["final_rrn"]
+
+    def test_max_batch_caps_gather(self):
+        config = _config(workers=1, coalesce=True, max_batch=2,
+                         cancel_grace_s=0.2, heartbeat_timeout_s=30.0)
+        with SolveEngine(config) as engine:
+            jobs = self._occupy_and_queue(engine, 3)
+            assert engine.drain(timeout=60)
+        widths = sorted(j.result.get("batch_columns", 1) for j in jobs)
+        assert widths == [1, 2, 2]
+
+    def test_ineligible_jobs_never_coalesce(self):
+        """Deadline jobs and retry attempts run solo even when peers
+        queue alongside them."""
+        tracer = Tracer()
+        config = _config(workers=1, coalesce=True, cancel_grace_s=0.2,
+                         heartbeat_timeout_s=30.0)
+        with SolveEngine(config, tracer=tracer) as engine:
+            hang = engine.submit(_spec(chaos=HANG, max_retries=0))
+            time.sleep(0.4)
+            deadlined = [
+                engine.submit(_spec(rhs_seed=i, deadline_s=120.0))
+                for i in range(2)
+            ]
+            engine.cancel(hang.job_id)
+            assert engine.drain(timeout=60)
+        for job in deadlined:
+            assert job.state == JobState.DONE
+            assert "batch_columns" not in job.result
+        assert tracer.counters.get("serve.batches_dispatched", 0) == 0
+
+    def test_retry_after_crash_runs_solo_while_peers_batch(self):
+        attempts = []
+        crash = ChaosSpec("worker_crash", at_iteration=3).to_dict()
+        config = _config(workers=1, coalesce=True)
+        with SolveEngine(config) as engine:
+            engine.subscribe(
+                lambda e: attempts.append(e) if e.kind == "attempt" else None
+            )
+            crashy = engine.submit(_spec(chaos=crash))
+            peers = [engine.submit(_spec(rhs_seed=i)) for i in range(2)]
+            assert engine.drain(timeout=60)
+        assert crashy.state == JobState.DONE
+        assert crashy.retries == 1
+        # neither of the crashy job's attempts was ever batched ...
+        crashy_events = [e for e in attempts if e.job_id == crashy.job_id]
+        assert crashy_events
+        assert all("batched_with" not in e.payload for e in crashy_events)
+        # ... while the peers queued behind it coalesced with each other
+        for peer in peers:
+            assert peer.state == JobState.DONE
+            assert peer.result["batch_columns"] == 2
+
+    def test_member_cancel_leaves_peers_running(self):
+        # slow target: the batch must still be computing when the cancel
+        # lands, and finish afterwards for the surviving members
+        config = _config(workers=1, coalesce=True, cancel_grace_s=0.2,
+                         heartbeat_timeout_s=30.0)
+        with SolveEngine(config) as engine:
+            hang = engine.submit(_spec(chaos=HANG, max_retries=0))
+            time.sleep(0.4)
+            jobs = [
+                engine.submit(_spec(rhs_seed=i, target_rrn=1e-13,
+                                    max_iter=3000))
+                for i in range(3)
+            ]
+            engine.cancel(hang.job_id)
+            deadline = time.monotonic() + 30
+            while (any(j.state != JobState.RUNNING for j in jobs)
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert engine.cancel(jobs[1].job_id)
+            assert jobs[1].wait(timeout=30)
+            assert engine.drain(timeout=120)
+        assert jobs[1].state == JobState.CANCELLED
+        assert "peers continue" in jobs[1].reason
+        for peer in (jobs[0], jobs[2]):
+            assert peer.state == JobState.DONE
+            assert peer.result["batch_columns"] == 3
+
+    def test_worker_entry_matches_solo_jobs(self):
+        from repro.serve.worker import run_solve_batch_job
+
+        specs = [_spec(rhs_seed=i).to_dict() for i in range(3)]
+        out = run_solve_batch_job(
+            specs, ["a", "b", "c"], attempt=1, storage="frsz2_32"
+        )
+        assert out["batch_columns"] == 3
+        assert out["batched_spmv_calls"] > 0
+        for i, job_id in enumerate(["a", "b", "c"]):
+            ref = run_solve_job(specs[i], "ref", 1, "frsz2_32")
+            got = out["results"][job_id]
+            assert np.array_equal(got["x"], ref["x"])
+            assert got["iterations"] == ref["iterations"]
+            assert got["final_rrn"] == ref["final_rrn"]
+            assert got["converged"] == ref["converged"]
+
+    def test_worker_entry_validates_lengths(self):
+        from repro.serve.worker import run_solve_batch_job
+
+        with pytest.raises(ValueError):
+            run_solve_batch_job(
+                [_spec().to_dict()], ["a", "b"], attempt=1, storage="frsz2_32"
+            )
+        with pytest.raises(ValueError):
+            run_solve_batch_job([], [], attempt=1, storage="frsz2_32")
+
+
 # -- chaos monitor unit -------------------------------------------------
 
 

@@ -7,6 +7,8 @@ CSR kernel, which is what lets ``--spmv-format auto`` change runtime
 without changing a single solver iterate.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -316,3 +318,107 @@ class TestAccounting:
 
     def test_default_slice_size_is_warp_sized(self):
         assert DEFAULT_SLICE_SIZE == 32
+
+
+class TestNonFiniteWarnings:
+    """Satellite: padded-lane 0*inf products must not leak warnings.
+
+    The ELL/SELL kernels gather with ``mode="clip"`` and multiply the
+    padding slots by 0.0; a non-finite x therefore evaluates ``0 * inf``
+    inside the kernel.  The NaN result is the intended propagation
+    semantics — but before the ``errstate`` scoping it also emitted a
+    ``RuntimeWarning: invalid value encountered in multiply``, turning
+    every poisoned solve (e.g. under fault injection) into warning spam.
+    """
+
+    def _nonfinite_x(self, n):
+        x = np.random.default_rng(3).standard_normal(n)
+        x[n // 3] = np.nan
+        x[(2 * n) // 3] = np.inf
+        return x
+
+    def test_matvec_emits_no_warnings(self):
+        a = random_csr(m=48, n=48, seed=8, empty_every=5)
+        x = self._nonfinite_x(48)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for name, op in _formats_of(a).items():
+                y = op.matvec(x)
+                assert not np.all(np.isfinite(y)), name
+
+    def test_slotwise_matvec_emits_no_warnings(self, monkeypatch):
+        import repro.sparse.ell as ell_mod
+
+        monkeypatch.setattr(ell_mod, "_SLOTWISE_MIN_ROWS", 1)
+        a = random_csr(m=48, n=48, seed=8, empty_every=5)
+        x = self._nonfinite_x(48)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ELLMatrix.from_csr(a).matvec(x)
+
+    def test_matmat_emits_no_warnings(self):
+        a = random_csr(m=48, n=48, seed=8, empty_every=5)
+        X = np.asfortranarray(
+            np.stack([self._nonfinite_x(48)] * 3, axis=1)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            a.matmat(X)
+            ELLMatrix.from_csr(a).matmat(X)
+            SELLMatrix.from_csr(a).matmat(X)
+
+
+class TestMatmat:
+    """Multi-vector SpMV: per-column bit-identity with matvec."""
+
+    @pytest.mark.parametrize("kw", EDGE_CASES)
+    def test_bit_identical_per_column(self, kw):
+        a = random_csr(**kw)
+        rng = np.random.default_rng(42)
+        X = np.asfortranarray(rng.standard_normal((a.shape[1], 5)))
+        expected = np.stack([a.matvec(X[:, c]) for c in range(5)], axis=1)
+        for name, op in {
+            "csr": a,
+            "ell": ELLMatrix.from_csr(a),
+            "sell": SELLMatrix.from_csr(a),
+            "engine-auto": SpmvEngine(a, "auto"),
+        }.items():
+            Y = op.matmat(X)
+            assert np.array_equal(Y, expected), name
+
+    def test_c_order_input_matches(self):
+        # callers may pass a C-ordered block; the contiguous-copy
+        # staging must not change the bits
+        a = random_csr(m=60, n=50, seed=9)
+        rng = np.random.default_rng(5)
+        Xc = np.ascontiguousarray(rng.standard_normal((50, 4)))
+        Xf = np.asfortranarray(Xc)
+        for op in (a, ELLMatrix.from_csr(a), SELLMatrix.from_csr(a)):
+            assert np.array_equal(op.matmat(Xc), op.matmat(Xf))
+
+    def test_out_buffer(self):
+        a = random_csr(m=40, n=40, seed=4)
+        X = np.asfortranarray(
+            np.random.default_rng(2).standard_normal((40, 3))
+        )
+        for op in (a, ELLMatrix.from_csr(a), SELLMatrix.from_csr(a)):
+            expected = op.matmat(X)
+            buf = np.full((40, 3), np.nan, order="F")
+            got = op.matmat(X, out=buf)
+            assert got is buf
+            assert np.array_equal(buf, expected)
+
+    def test_shape_validation(self):
+        a = random_csr(m=40, n=40, seed=4)
+        with pytest.raises(ValueError):
+            a.matmat(np.zeros((39, 3)))
+        with pytest.raises(ValueError):
+            a.matmat(np.zeros((40, 3)), out=np.zeros((40, 2)))
+
+    def test_bills_one_spmv_per_column(self):
+        a = random_csr(m=40, n=40, seed=4)
+        X = np.zeros((40, 6), order="F")
+        for op in (a, ELLMatrix.from_csr(a), SELLMatrix.from_csr(a)):
+            before = op.counter.calls
+            op.matmat(X)
+            assert op.counter.calls == before + 6
