@@ -48,8 +48,173 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Any, Dict
 
 import numpy as np
+
+_SCALES = ["smoke", "default", "paper"]
+_SPMV_CHOICES = ["auto", "csr", "ell", "sell"]
+_BASIS_MODES = ["cached", "streaming"]
+
+#: single source of truth for options shared across subcommands.
+#: ``build_parser`` registers each subcommand's flags from this table
+#: *and* generates the subcommand epilog from the same rows, so the
+#: help text can no longer drift from the accepted flags (asserted by
+#: the CLI test suite).
+SHARED_OPTIONS: "Dict[str, Dict[str, Any]]" = {
+    "storage": dict(
+        default="frsz2_32",
+        help="Krylov-basis storage format (see `list`), or 'adaptive' "
+             "for the per-restart precision controller",
+    ),
+    "storages": dict(
+        nargs="*", default=None, metavar="FMT",
+        help="storage formats for the grid",
+    ),
+    "scale": dict(
+        default=None, choices=[None] + _SCALES,
+        help="problem scale (default: suite default / $REPRO_SCALE)",
+    ),
+    "restart": dict(type=int, default=50, help="GMRES restart length m"),
+    "max-iter": dict(type=int, default=2000, help="global iteration cap"),
+    "jobs": dict(
+        type=int, default=1,
+        help="worker processes for the grid (default 1 = serial; "
+             "0 = all cores; results are identical for any value)",
+    ),
+    "spmv-format": dict(
+        default="csr", choices=_SPMV_CHOICES,
+        help="SpMV storage format (auto = structure-driven selection)",
+    ),
+    "basis-mode": dict(
+        default="cached", choices=_BASIS_MODES,
+        help="Krylov-basis working-set mode: cached keeps a dense "
+             "float64 mirror; streaming decodes compressed tiles "
+             "on the fly (O(tile) instead of O(n*m) float64)",
+    ),
+}
+
+#: which shared options each subcommand takes, with the per-command
+#: default/help overrides (the only differences allowed).  Commands
+#: not listed here take no shared options.
+SHARED_BY_COMMAND: "Dict[str, Dict[str, Dict[str, Any]]]" = {
+    "solve": {
+        "storage": {},
+        "scale": {},
+        "restart": dict(default=100),
+        "max-iter": dict(default=20_000),
+        "spmv-format": dict(default="auto"),
+        "basis-mode": {},
+    },
+    "experiment": {"scale": {}},
+    "calibrate": {"scale": {}, "max-iter": {}},
+    "predict": {"scale": {}},
+    "faults": {
+        "scale": {},
+        "storages": dict(
+            help="basis storage formats to stress (default: frsz2_16 "
+                 "frsz2_32 float32; 'adaptive' runs the precision "
+                 "controller under fault injection)",
+        ),
+        "restart": {},
+        "max-iter": {},
+        "jobs": {},
+        "spmv-format": dict(
+            help="SpMV storage format under fault injection "
+                 "(default csr, the historical campaign baseline)",
+        ),
+        "basis-mode": {},
+    },
+    "bench": {
+        "storages": dict(
+            help="storage formats (default: float64 float32 frsz2_32 "
+                 "adaptive)",
+        ),
+        "scale": dict(
+            default="default", choices=_SCALES,
+            help="problem scale (default: 'default' — smoke-scale "
+                 "matrices are too small for meaningful SpMV "
+                 "wall-clock measurements)",
+        ),
+        "restart": {},
+        "max-iter": {},
+        "jobs": {},
+        "spmv-format": dict(
+            default="auto",
+            help="SpMV engine format for every grid cell "
+                 "(auto = structure-driven selection per matrix)",
+        ),
+        "basis-mode": dict(
+            help="basis mode of the primary traced solve (the "
+                 "per-entry basis block always compares both modes)",
+        ),
+    },
+    "throughput": {
+        "storages": dict(
+            help="storage formats (default: frsz2_16 frsz2_32; "
+                 "'adaptive' is not batchable)",
+        ),
+        "scale": dict(
+            default="smoke", choices=_SCALES,
+            help="problem scale (default: smoke — the batched path "
+                 "amortizes per-call codec overhead, which is largest "
+                 "at small scale)",
+        ),
+        "restart": dict(default=30),
+        "max-iter": dict(default=400),
+        "spmv-format": {},
+        "basis-mode": {},
+    },
+    "serve": {
+        "storage": {},
+        "scale": dict(default="smoke", choices=_SCALES),
+        "restart": dict(default=30),
+        "max-iter": dict(default=400),
+        "spmv-format": {},
+        "basis-mode": {},
+    },
+}
+
+
+def shared_option_kwargs(command: str, name: str) -> "Dict[str, Any]":
+    """Resolved ``add_argument`` kwargs for one shared option.
+
+    Parameters
+    ----------
+    command : str
+        Subcommand name (a key of :data:`SHARED_BY_COMMAND`).
+    name : str
+        Shared option name (a key of :data:`SHARED_OPTIONS`).
+
+    Returns
+    -------
+    dict
+        The registry kwargs with the command's overrides applied.
+    """
+    return {**SHARED_OPTIONS[name], **SHARED_BY_COMMAND[command][name]}
+
+
+def shared_epilog(command: str) -> str:
+    """Generated help epilog listing a subcommand's shared options.
+
+    One row per shared option with its resolved default — rendered
+    from :data:`SHARED_BY_COMMAND`, the same table the flags are
+    registered from, so flags and epilog cannot disagree.
+    """
+    rows = []
+    for name in SHARED_BY_COMMAND.get(command, {}):
+        kwargs = shared_option_kwargs(command, name)
+        default = kwargs.get("default")
+        shown = "suite default" if default is None else default
+        rows.append(f"  --{name:<13} default: {shown}")
+    if not rows:
+        return ""
+    return "shared options (registry-generated):\n" + "\n".join(rows)
+
+
+def _add_shared(p: argparse.ArgumentParser, command: str) -> None:
+    for name in SHARED_BY_COMMAND.get(command, {}):
+        p.add_argument(f"--{name}", **shared_option_kwargs(command, name))
 
 
 def _cmd_list(args) -> int:
@@ -235,6 +400,7 @@ def _cmd_faults(args) -> int:
             fallback=not args.no_fallback,
             jobs=args.jobs,
             spmv_format=args.spmv_format,
+            basis_mode=args.basis_mode,
         )
     except (KeyError, ValueError, WorkerCrashError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -538,130 +704,89 @@ def _cmd_soak(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser.
+
+    Per-subcommand flags that exist on more than one subcommand come
+    from the :data:`SHARED_OPTIONS` registry (with
+    :data:`SHARED_BY_COMMAND` overrides); each subcommand's epilog is
+    generated from the same rows by :func:`shared_epilog`.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="FRSZ2 / CB-GMRES reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="show matrices, storage formats, compressors")
+    def add_command(name: str, help: str) -> argparse.ArgumentParser:
+        return sub.add_parser(
+            name,
+            help=help,
+            epilog=shared_epilog(name),
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
 
-    p = sub.add_parser("solve", help="run CB-GMRES on a suite matrix")
+    add_command("list", "show matrices, storage formats, compressors")
+
+    p = add_command("solve", "run CB-GMRES on a suite matrix")
     p.add_argument("matrix")
-    p.add_argument("--storage", default="frsz2_32")
-    p.add_argument("--scale", default=None, choices=[None, "smoke", "default", "paper"])
     p.add_argument("--target", type=float, default=None)
-    p.add_argument("--restart", type=int, default=100)
-    p.add_argument("--max-iter", type=int, default=20_000)
     p.add_argument("--jacobi", action="store_true", help="apply a Jacobi preconditioner")
     p.add_argument("--solver", default="cb", choices=["cb", "fgmres"],
                    help="cb = CB-GMRES (compress V); fgmres = ref [17] (compress Z)")
-    p.add_argument("--spmv-format", default="auto",
-                   choices=["auto", "csr", "ell", "sell"],
-                   help="SpMV storage format (auto = structure-driven selection)")
-    p.add_argument("--basis-mode", default="cached",
-                   choices=["cached", "streaming"],
-                   help="Krylov-basis working-set mode: cached keeps a dense "
-                        "float64 mirror; streaming decodes compressed tiles "
-                        "on the fly (O(tile) instead of O(n*m) float64)")
+    _add_shared(p, "solve")
 
-    p = sub.add_parser("compress", help="evaluate a compressor on data")
+    p = add_command("compress", "evaluate a compressor on data")
     p.add_argument("--format", default="frsz2_32")
     p.add_argument("--input", default=None, help=".npy file of float64 values")
     p.add_argument("--n", type=int, default=100_000)
     p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p = add_command("experiment", "regenerate a paper table/figure")
     p.add_argument("id", help="table1|table2|fig2|fig4|fig7|fig8|fig10|fig11")
-    p.add_argument("--scale", default=None)
+    _add_shared(p, "experiment")
 
-    p = sub.add_parser("calibrate", help="run the Section V-C calibration")
-    p.add_argument("--scale", default=None)
-    p.add_argument("--max-iter", type=int, default=2000)
+    p = add_command("calibrate", "run the Section V-C calibration")
+    _add_shared(p, "calibrate")
 
-    p = sub.add_parser("predict", help="recommend a basis storage format")
+    p = add_command("predict", "recommend a basis storage format")
     p.add_argument("matrix")
-    p.add_argument("--scale", default=None)
+    _add_shared(p, "predict")
 
-    p = sub.add_parser("faults", help="run the fault-injection survival campaign")
+    p = add_command("faults", "run the fault-injection survival campaign")
     p.add_argument("--matrix", default="atmosmodd")
-    p.add_argument("--scale", default=None, choices=[None, "smoke", "default", "paper"])
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--kinds", nargs="*", default=None,
                    help="fault kinds (default: payload/exponent bit flips, readout NaN, SpMV NaN)")
-    p.add_argument("--storages", nargs="*", default=None,
-                   help="basis storage formats to stress (default: frsz2_16 frsz2_32 float32)")
     p.add_argument("--rates", nargs="*", type=float, default=None,
                    help="per-operation fault probabilities (default: 0.02 0.05)")
-    p.add_argument("--restart", type=int, default=50)
-    p.add_argument("--max-iter", type=int, default=2000)
     p.add_argument("--unhardened", action="store_true",
                    help="disable recovery+fallback (the crash/diverge baseline)")
     p.add_argument("--no-fallback", action="store_true",
                    help="recovery only, no storage-format escalation")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes for the campaign grid "
-                        "(default 1 = serial; 0 = all cores; results are "
-                        "identical for any value)")
-    p.add_argument("--spmv-format", default="csr",
-                   choices=["auto", "csr", "ell", "sell"],
-                   help="SpMV storage format under fault injection "
-                        "(default csr, the historical campaign baseline)")
+    _add_shared(p, "faults")
 
-    p = sub.add_parser(
+    p = add_command(
         "bench",
-        help="run the traced perf grid / compare or validate bench files",
+        "run the traced perf grid / compare or validate bench files",
     )
     p.add_argument("--out", default="BENCH_gmres.json",
                    help="output path for the bench document")
     p.add_argument("--matrices", nargs="*", default=None,
                    help="suite matrices (default: atmosmodd cfd2 lung2)")
-    p.add_argument("--storages", nargs="*", default=None,
-                   help="storage formats (default: float64 float32 frsz2_32)")
-    p.add_argument("--scale", default="default",
-                   choices=["smoke", "default", "paper"],
-                   help="problem scale (default: 'default' — smoke-scale "
-                        "matrices are too small for meaningful SpMV "
-                        "wall-clock measurements)")
-    p.add_argument("--restart", type=int, default=50)
-    p.add_argument("--max-iter", type=int, default=2000)
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes for the bench grid (default 1 = "
-                        "serial; 0 = all cores; deterministic metrics are "
-                        "identical for any value)")
-    p.add_argument("--spmv-format", default="auto",
-                   choices=["auto", "csr", "ell", "sell"],
-                   help="SpMV engine format for every grid cell "
-                        "(auto = structure-driven selection per matrix)")
-    p.add_argument("--basis-mode", default="cached",
-                   choices=["cached", "streaming"],
-                   help="basis mode of the primary traced solve (the "
-                        "per-entry basis block always compares both modes)")
     p.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"), default=None,
                    help="diff two bench files; exit 1 on regressions")
     p.add_argument("--tolerance", type=float, default=0.05,
                    help="relative regression tolerance for --compare")
     p.add_argument("--check", default=None, metavar="FILE",
                    help="validate an existing bench file against the schema")
+    _add_shared(p, "bench")
 
-    p = sub.add_parser(
-        "serve",
-        help="run solve jobs through the hardened job engine",
-    )
+    p = add_command("serve", "run solve jobs through the hardened job engine")
     p.add_argument("matrices", nargs="+", help="suite matrices to solve")
     p.add_argument("--count", type=int, default=1,
                    help="jobs per matrix (RHS seed advances per copy)")
-    p.add_argument("--storage", default="frsz2_32")
-    p.add_argument("--scale", default="smoke",
-                   choices=["smoke", "default", "paper"])
-    p.add_argument("--restart", type=int, default=30)
-    p.add_argument("--max-iter", type=int, default=400)
     p.add_argument("--rhs-seed", type=int, default=None,
                    help="base seed for random RHS (default: paper RHS)")
-    p.add_argument("--spmv-format", default="csr",
-                   choices=["auto", "csr", "ell", "sell"])
-    p.add_argument("--basis-mode", default="cached",
-                   choices=["cached", "streaming"])
     p.add_argument("--workers", type=int, default=2,
                    help="supervised worker processes")
     p.add_argument("--max-queue", type=int, default=64,
@@ -682,43 +807,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "worker_crash, worker_hang, solve_error")
     p.add_argument("--chaos-at", type=int, default=5,
                    help="solver iteration at which the chaos fires")
+    _add_shared(p, "serve")
 
-    p = sub.add_parser(
+    p = add_command(
         "throughput",
-        help="time batched multi-RHS solves vs a loop of independent "
-             "solves; write BENCH_throughput.json",
+        "time batched multi-RHS solves vs a loop of independent "
+        "solves; write BENCH_throughput.json",
     )
     p.add_argument("--out", default="BENCH_throughput.json",
                    help="output path for the throughput document")
     p.add_argument("--matrices", nargs="*", default=None,
                    help="suite matrices (default: cfd2 lung2 — the "
                         "codec-bound cells batching targets)")
-    p.add_argument("--storages", nargs="*", default=None,
-                   help="storage formats (default: frsz2_16 frsz2_32)")
-    p.add_argument("--scale", default="smoke",
-                   choices=["smoke", "default", "paper"],
-                   help="problem scale (default: smoke — the batched "
-                        "path amortizes per-call codec overhead, which "
-                        "is largest at small scale)")
-    p.add_argument("--restart", type=int, default=30)
-    p.add_argument("--max-iter", type=int, default=400)
     p.add_argument("--batch", type=int, default=8,
                    help="simultaneous right-hand sides per batch")
     p.add_argument("--rounds", type=int, default=3,
                    help="timing rounds per cell (best-of wins)")
-    p.add_argument("--spmv-format", default="csr",
-                   choices=["auto", "csr", "ell", "sell"])
-    p.add_argument("--basis-mode", default="cached",
-                   choices=["cached", "streaming"])
     p.add_argument("--min-speedup", type=float, default=None,
                    help="exit 1 unless the aggregate speedup reaches "
                         "this factor (also applies to --check)")
     p.add_argument("--check", default=None, metavar="FILE",
                    help="validate an existing throughput document")
+    _add_shared(p, "throughput")
 
-    p = sub.add_parser(
+    p = add_command(
         "soak",
-        help="run the serve soak with seeded chaos; write BENCH_serve.json",
+        "run the serve soak with seeded chaos; write BENCH_serve.json",
     )
     p.add_argument("--jobs", type=int, default=200,
                    help="solve jobs to queue (mixed configs)")

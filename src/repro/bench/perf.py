@@ -32,6 +32,7 @@ from ..gpu.device import DeviceSpec, H100_PCIE
 from ..gpu.timing import GmresTimingModel
 from ..observe import NULL_TRACER, Tracer
 from ..parallel import run_grid
+from ..solvers.adaptive import ADAPTIVE_STORAGE
 from ..solvers.basis import BASIS_MODES
 from ..solvers.gmres import CbGmres
 from ..solvers.problems import make_problem
@@ -45,6 +46,7 @@ __all__ = [
     "BENCH_BASIS_MODES",
     "DEFAULT_BENCH_STORAGES",
     "DEFAULT_BENCH_MATRICES",
+    "PRECISION_BASELINE_STORAGE",
     "Regression",
     "run_bench_entry",
     "run_bench",
@@ -59,8 +61,12 @@ BENCH_SCHEMA = "repro.bench.gmres"
 #: bump on any incompatible change to the document layout
 #: (v2: top-level ``spmv_format`` + per-entry ``spmv`` block;
 #: v3: top-level ``basis_mode`` + per-entry ``basis`` block with
-#: per-mode wall time / peak float64 bytes and modeled fused-kernel time)
-BENCH_SCHEMA_VERSION = 3
+#: per-mode wall time / peak float64 bytes and modeled fused-kernel time;
+#: v4: ``adaptive`` joins the default storage grid and adaptive entries
+#: carry a ``precision`` block — per-restart storage trace, modeled
+#: stored-basis bytes saved vs a fixed frsz2_32 companion solve, and the
+#: iteration-count delta)
+BENCH_SCHEMA_VERSION = 4
 #: per-phase attribution keys (observe span names + the remainder)
 BENCH_PHASES = (
     "spmv",
@@ -73,7 +79,10 @@ BENCH_PHASES = (
 #: basis modes every entry's ``basis.modes`` block must cover
 BENCH_BASIS_MODES = BASIS_MODES
 #: the storage grid the perf trajectory tracks (acceptance floor)
-DEFAULT_BENCH_STORAGES = ("float64", "float32", "frsz2_32")
+DEFAULT_BENCH_STORAGES = ("float64", "float32", "frsz2_32", "adaptive")
+#: fixed-storage companion every adaptive entry's ``precision`` block
+#: measures its bytes-moved savings and iteration delta against
+PRECISION_BASELINE_STORAGE = "frsz2_32"
 #: small-but-varied default matrix grid (fast at smoke scale)
 DEFAULT_BENCH_MATRICES = ("atmosmodd", "cfd2", "lung2")
 
@@ -249,6 +258,63 @@ def run_bench_entry(
         and [s.rrn for s in rc.history] == [s.rrn for s in rs.history]
     )
 
+    # adaptive entries report the controller's decisions and their
+    # payoff against an untraced fixed-storage companion solve on the
+    # same operator: modeled stored-basis bytes saved and the
+    # iteration-count delta — the acceptance criteria of the adaptive
+    # controller, kept per commit in the trajectory file
+    precision_block: Optional[dict] = None
+    if storage == ADAPTIVE_STORAGE:
+        model = GmresTimingModel(device)
+        problem.a.tracer = NULL_TRACER
+        try:
+            fixed = CbGmres(
+                engine, PRECISION_BASELINE_STORAGE, m=m, max_iter=max_iter,
+                basis_mode=basis_mode,
+            ).solve(problem.b, problem.target_rrn)
+        finally:
+            problem.a.tracer = tracer
+        adaptive_bytes = model.basis_bytes_moved(result.stats, storage)
+        fixed_bytes = model.basis_bytes_moved(
+            fixed.stats, PRECISION_BASELINE_STORAGE
+        )
+        precision_block = {
+            "baseline_storage": PRECISION_BASELINE_STORAGE,
+            "trace": [str(s) for s in result.stats.storage_trace],
+            "decisions": [
+                {
+                    "restart": int(d.restart),
+                    "storage": str(d.storage),
+                    "rrn": float(d.rrn),
+                    "needed_gain": float(d.needed_gain),
+                    "reason": str(d.reason),
+                }
+                for d in result.precision_trace
+            ],
+            "upshifts": int(result.stats.precision_upshifts),
+            "downshifts": int(result.stats.precision_downshifts),
+            "reads_by_storage": {
+                str(f): int(c)
+                for f, c in sorted(result.stats.reads_by_storage.items())
+            },
+            "writes_by_storage": {
+                str(f): int(c)
+                for f, c in sorted(result.stats.writes_by_storage.items())
+            },
+            "adaptive_basis_bytes": float(adaptive_bytes),
+            "baseline_basis_bytes": float(fixed_bytes),
+            "bytes_saved_fraction": float(
+                1.0 - adaptive_bytes / fixed_bytes if fixed_bytes else 0.0
+            ),
+            "baseline_iterations": int(fixed.iterations),
+            "iterations_delta_fraction": float(
+                (result.iterations - fixed.iterations) / fixed.iterations
+                if fixed.iterations
+                else 0.0
+            ),
+            "baseline_converged": bool(fixed.converged),
+        }
+
     return {
         "matrix": matrix,
         "storage": storage,
@@ -298,6 +364,7 @@ def run_bench_entry(
             str(k): (float(v) if isinstance(v, float) else int(v))
             for k, v in sorted(tracer.counters.items())
         },
+        **({"precision": precision_block} if precision_block else {}),
     }
 
 
@@ -534,6 +601,72 @@ def validate_bench(doc: dict) -> None:
                 "expected an object")
         for name, value in counters.items():
             _expect_number(value, f"{where}.counters.{name}")
+        if entry["storage"] == ADAPTIVE_STORAGE:
+            _validate_precision_block(entry.get("precision"), f"{where}.precision")
+        else:
+            _expect("precision" not in entry, f"{where}.precision",
+                    "only adaptive entries carry a precision block")
+
+
+def _validate_precision_block(precision: object, where: str) -> None:
+    """Validate one adaptive entry's ``precision`` block (schema v4)."""
+    _expect(isinstance(precision, dict), where,
+            "adaptive entries must carry a precision block")
+    expected = {
+        "baseline_storage", "trace", "decisions", "upshifts", "downshifts",
+        "reads_by_storage", "writes_by_storage", "adaptive_basis_bytes",
+        "baseline_basis_bytes", "bytes_saved_fraction", "baseline_iterations",
+        "iterations_delta_fraction", "baseline_converged",
+    }
+    _expect(set(precision) == expected, where,
+            f"unexpected precision block keys {sorted(precision)}")
+    _expect(isinstance(precision["baseline_storage"], str),
+            f"{where}.baseline_storage", "expected a string")
+    _expect(
+        isinstance(precision["trace"], list) and precision["trace"]
+        and all(isinstance(s, str) for s in precision["trace"]),
+        f"{where}.trace", "expected a non-empty list of storage names",
+    )
+    decisions = precision["decisions"]
+    _expect(isinstance(decisions, list) and len(decisions) == len(precision["trace"]),
+            f"{where}.decisions", "expected one decision per trace entry")
+    for j, dec in enumerate(decisions):
+        dwhere = f"{where}.decisions[{j}]"
+        _expect(isinstance(dec, dict), dwhere, "expected an object")
+        _expect(set(dec) == {"restart", "storage", "rrn", "needed_gain",
+                             "reason"},
+                dwhere, f"unexpected decision keys {sorted(dec)}")
+        for key in ("restart",):
+            _expect(isinstance(dec[key], int) and not isinstance(dec[key], bool),
+                    f"{dwhere}.{key}", "expected an integer")
+        for key in ("storage", "reason"):
+            _expect(isinstance(dec[key], str), f"{dwhere}.{key}",
+                    "expected a string")
+        for key in ("rrn", "needed_gain"):
+            _expect_number(dec[key], f"{dwhere}.{key}")
+    for key in ("upshifts", "downshifts", "baseline_iterations"):
+        _expect(
+            isinstance(precision[key], int) and not isinstance(precision[key], bool),
+            f"{where}.{key}", "expected an integer",
+        )
+    for key in ("reads_by_storage", "writes_by_storage"):
+        buckets = precision[key]
+        _expect(
+            isinstance(buckets, dict) and buckets
+            and all(
+                isinstance(f, str)
+                and isinstance(c, int)
+                and not isinstance(c, bool)
+                for f, c in buckets.items()
+            ),
+            f"{where}.{key}",
+            "expected a non-empty {storage: count} object",
+        )
+    for key in ("adaptive_basis_bytes", "baseline_basis_bytes",
+                "bytes_saved_fraction", "iterations_delta_fraction"):
+        _expect_number(precision[key], f"{where}.{key}")
+    _expect(isinstance(precision["baseline_converged"], bool),
+            f"{where}.baseline_converged", "expected a boolean")
 
 
 # ----------------------------------------------------------------------

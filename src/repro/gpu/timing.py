@@ -102,10 +102,37 @@ class GmresTimingModel:
     # -- end-to-end -----------------------------------------------------
 
     def time_stats(self, stats: "SolveStats", storage: str) -> SolveTiming:
-        """Predicted runtime for a recorded work log."""
+        """Predicted runtime for a recorded work log.
+
+        Adaptive-precision solves populate
+        ``SolveStats.reads_by_storage`` / ``writes_by_storage``; when
+        present, each bucket is priced at its own format's width and the
+        scalar ``storage`` label (``"adaptive"``) is only cosmetic —
+        this is how the bytes-moved savings of mixed-storage bases reach
+        the model instead of being flattened to one width.
+        """
         n = stats.n
         d = self.device
-        basis_read_s = stats.basis_reads * self.basis_read_cost(n, storage).time_on(d)
+        reads_by = getattr(stats, "reads_by_storage", None) or {}
+        writes_by = getattr(stats, "writes_by_storage", None) or {}
+        if reads_by:
+            basis_read_s = sum(
+                count * self.basis_read_cost(n, self._model_storage_name(f)).time_on(d)
+                for f, count in reads_by.items()
+            )
+        else:
+            basis_read_s = stats.basis_reads * self.basis_read_cost(
+                n, self._model_storage_name(storage)
+            ).time_on(d)
+        if writes_by:
+            basis_write_s = sum(
+                count * self.basis_write_cost(n, self._model_storage_name(f)).time_on(d)
+                for f, count in writes_by.items()
+            )
+        else:
+            basis_write_s = stats.basis_writes * self.basis_write_cost(
+                n, self._model_storage_name(storage)
+            ).time_on(d)
         # FGMRES-style solvers stream an uncompressed V basis as well
         uncompressed = getattr(stats, "uncompressed_basis_reads", 0)
         if uncompressed:
@@ -117,9 +144,36 @@ class GmresTimingModel:
             spmv_seconds=stats.spmv_calls
             * self.spmv_cost(n, stats.nnz, spmv_fmt, spmv_padded).time_on(d),
             basis_read_seconds=basis_read_s,
-            basis_write_seconds=stats.basis_writes * self.basis_write_cost(n, storage).time_on(d),
+            basis_write_seconds=basis_write_s,
             vector_ops_seconds=stats.dense_vector_ops * self.dense_vector_cost(n).time_on(d),
         )
+
+    def basis_bytes_moved(self, stats: "SolveStats", storage: str) -> float:
+        """Modeled stored-basis bytes a GPU would move for this work log.
+
+        Sums ``reads + writes`` at each format's stored width (write
+        traffic includes the float64 source read, matching
+        :meth:`basis_write_cost`).  Adaptive solves price each
+        per-storage bucket at its own width — the quantity the bench
+        ``precision`` block reports savings on.
+        """
+        n = stats.n
+        reads_by = getattr(stats, "reads_by_storage", None) or {}
+        writes_by = getattr(stats, "writes_by_storage", None) or {}
+        if not reads_by:
+            reads_by = {storage: stats.basis_reads}
+        if not writes_by:
+            writes_by = {storage: stats.basis_writes}
+        total = 0.0
+        for f, count in reads_by.items():
+            total += count * self.basis_read_cost(
+                n, self._model_storage_name(f)
+            ).bytes_moved
+        for f, count in writes_by.items():
+            total += count * self.basis_write_cost(
+                n, self._model_storage_name(f)
+            ).bytes_moved
+        return total
 
     def phase_times(self, stats: "SolveStats", storage: str) -> Dict[str, float]:
         """Predicted seconds per solver phase, keyed by the observe-layer
@@ -160,7 +214,26 @@ class GmresTimingModel:
         kernel — the roofline is near-linear in the vector count, so the
         average-width launch is an accurate stand-in for the exact
         per-``j`` sequence.
+
+        Adaptive solves carry per-format read buckets
+        (``SolveStats.reads_by_storage``): the fused time is then the
+        read-share-weighted mix of the per-format predictions, since
+        every fused kernel's traffic is dominated by the stored-basis
+        reads the buckets count.
         """
+        reads_by = getattr(stats, "reads_by_storage", None) or {}
+        if reads_by:
+            total_reads = sum(reads_by.values())
+            if not total_reads:
+                return 0.0
+            return sum(
+                count / total_reads * self._fused_seconds_at(stats, f)
+                for f, count in reads_by.items()
+            )
+        return self._fused_seconds_at(stats, storage)
+
+    def _fused_seconds_at(self, stats: "SolveStats", storage: str) -> float:
+        """Fused-kernel prediction with the whole log priced at one format."""
         fmt = format_cost(self._model_storage_name(storage))
         n = stats.n
         d = self.device

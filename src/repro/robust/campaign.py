@@ -31,6 +31,7 @@ from ..accessor import make_accessor
 from ..bench.report import format_table
 from ..parallel import WorkerCrashError, run_grid
 from ..sparse.engine import SPMV_FORMATS, SpmvEngine
+from ..solvers.adaptive import ADAPTIVE_STORAGE
 from ..solvers.gmres import CbGmres
 from ..solvers.problems import Problem, make_problem
 from .fallback import FallbackPolicy, RobustCbGmres
@@ -149,6 +150,7 @@ def _run_cell(
     fallback: bool,
     policy: FallbackPolicy,
     spmv_format: str = "csr",
+    basis_mode: str = "cached",
 ) -> CampaignCell:
     injector = FaultInjector(rate, seed_key)
     a = problem.a
@@ -171,6 +173,7 @@ def _run_cell(
                 m=m,
                 max_iter=max_iter,
                 accessor_factory=wrap,
+                basis_mode=basis_mode,
             )
             rr = solver.solve(problem.b, problem.target_rrn)
             return CampaignCell(
@@ -183,10 +186,20 @@ def _run_cell(
                 faults_injected=injector.injected,
                 final_rrn=rr.final_rrn,
             )
-        factory = (lambda n: wrap(storage, n)) if wrap is not None else None
+        adaptive = storage == ADAPTIVE_STORAGE
+        factory = None
+        storage_factory = None
+        if wrap is not None:
+            if adaptive:
+                # the controller rebuilds accessors on format switches;
+                # the (storage, n) factory keeps every rebuild faulty
+                storage_factory = wrap
+            else:
+                factory = (lambda n: wrap(storage, n))
         solver = CbGmres(
             a, storage, m=m, max_iter=max_iter,
-            accessor_factory=factory, recovery=hardened,
+            accessor_factory=factory, storage_factory=storage_factory,
+            recovery=hardened, basis_mode=basis_mode,
         )
         res = solver.solve(problem.b, problem.target_rrn)
         if res.converged:
@@ -230,6 +243,7 @@ def run_campaign(
     target_rrn: Optional[float] = None,
     jobs: int = 1,
     spmv_format: str = "csr",
+    basis_mode: str = "cached",
 ) -> CampaignResult:
     """Sweep fault kind × storage format × rate on one suite matrix.
 
@@ -249,7 +263,7 @@ def run_campaign(
             raise ValueError(
                 f"unknown fault kind {fault!r}; expected one of {FAULT_KINDS}"
             )
-    known = tuple(list_storage_formats())
+    known = tuple(list_storage_formats()) + (ADAPTIVE_STORAGE,)
     for storage in storages:
         if storage not in known:
             raise ValueError(
@@ -270,7 +284,7 @@ def run_campaign(
             problem=problem, fault=fault, storage=storage, rate=float(rate),
             seed_key=(seed, i_f, i_s, i_r), m=m, max_iter=max_iter,
             hardened=hardened, fallback=fallback, policy=policy,
-            spmv_format=spmv_format,
+            spmv_format=spmv_format, basis_mode=basis_mode,
         )
         for i_f, fault in enumerate(faults)
         for i_s, storage in enumerate(storages)

@@ -11,6 +11,7 @@ uncompressed ``float64`` as the correctness-guaranteeing terminal.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
@@ -19,6 +20,7 @@ import numpy as np
 from ..accessor import VectorAccessor, make_accessor
 from ..sparse.csr import CSRMatrix
 from ..sparse.engine import SpmvEngine
+from ..solvers.adaptive import ADAPTIVE_STORAGE, ControllerConfig
 from ..solvers.gmres import (
     DEFAULT_MAX_ITER,
     DEFAULT_MAX_RECOVERIES,
@@ -154,6 +156,7 @@ class RobustCbGmres:
         spmv_format: str = "csr",
         basis_mode: str = "cached",
         tile_elems: Optional[int] = None,
+        precision: Optional[ControllerConfig] = None,
     ) -> None:
         if spmv_format != "csr" and isinstance(a, CSRMatrix):
             a = SpmvEngine(a, format=spmv_format)
@@ -168,10 +171,40 @@ class RobustCbGmres:
         self.orthogonalization = orthogonalization
         self.basis_mode = basis_mode
         self.tile_elems = tile_elems
+        self.precision = precision
         if accessor_factory is None:
-            # fail fast on unknown format names in the chain
+            # fail fast on unknown format names in the chain (adaptive
+            # expands to its ladder, validated by ControllerConfig)
             for storage in self.policy.chain:
-                make_accessor(storage, 0)
+                if storage != ADAPTIVE_STORAGE:
+                    make_accessor(storage, 0)
+
+    def attempt_plan(self) -> "List[Tuple[str, Optional[str]]]":
+        """The ``(storage, adaptive_floor)`` sequence :meth:`solve` walks.
+
+        Fixed chain entries map to ``(storage, None)``.  An
+        ``"adaptive"`` entry expands into one adaptive attempt per
+        non-terminal ladder rung with the escalation floor raised one
+        rung each time — so after a fault-driven escalation the
+        controller can never downshift back below the level the chain
+        has moved past — followed by the ladder's terminal as a plain
+        fixed attempt (the correctness guarantee).  Consecutive
+        duplicates are collapsed.
+        """
+        cfg = self.precision or ControllerConfig()
+        plan: List[Tuple[str, Optional[str]]] = []
+        for storage in self.policy.chain:
+            if storage == ADAPTIVE_STORAGE:
+                for floor in cfg.ladder[:-1]:
+                    plan.append((ADAPTIVE_STORAGE, floor))
+                plan.append((cfg.ladder[-1], None))
+            else:
+                plan.append((storage, None))
+        deduped: List[Tuple[str, Optional[str]]] = []
+        for step in plan:
+            if not deduped or deduped[-1] != step:
+                deduped.append(step)
+        return deduped
 
     def solve(
         self,
@@ -184,10 +217,16 @@ class RobustCbGmres:
         attempts: List[GmresResult] = []
         x_start = x0
         best_rrn = np.inf
-        for storage in self.policy.chain:
+        for storage, floor in self.attempt_plan():
+            adaptive = storage == ADAPTIVE_STORAGE
             factory = None
-            if self._factory is not None:
+            if self._factory is not None and not adaptive:
                 factory = (lambda n, s=storage: self._factory(s, n))
+            precision = None
+            if adaptive:
+                precision = dataclasses.replace(
+                    self.precision or ControllerConfig(), floor=floor
+                )
             solver = CbGmres(
                 self.a,
                 storage,
@@ -196,6 +235,10 @@ class RobustCbGmres:
                 max_iter=self.max_iter,
                 stall_restarts=self.policy.stall_restarts,
                 accessor_factory=factory,
+                # adaptive attempts keep wrapping accessors (fault
+                # injectors) across the controller's format switches
+                storage_factory=self._factory if adaptive else None,
+                precision=precision,
                 preconditioner=self.preconditioner,
                 orthogonalization=self.orthogonalization,
                 recovery=True,

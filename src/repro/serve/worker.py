@@ -119,13 +119,20 @@ def run_solve_job(
 
         a = problem.a
         accessor_factory = None
+        storage_factory = None
         chaos_tick = None
         if chaos is not None:
             if chaos.is_spmv_kind:
                 a = chaos_spmv_wrapper(chaos, a)
             elif chaos.is_accessor_kind:
                 factory = chaos_accessor_factory(chaos)
-                accessor_factory = lambda n, _s=storage: factory(_s, n)
+                if storage == "adaptive":
+                    # adaptive solves rebuild accessors on every format
+                    # switch; the (storage, n) factory keeps the chaos
+                    # wrapper attached across switches
+                    storage_factory = factory
+                else:
+                    accessor_factory = lambda n, _s=storage: factory(_s, n)
             else:
                 chaos_tick = chaos_monitor(chaos)
 
@@ -147,6 +154,9 @@ def run_solve_job(
                 "iteration": int(iteration),
                 "restart_slot": int(j),
                 "implicit_rrn": float(implicit_rrn),
+                # the format the basis is *currently* stored in — under
+                # adaptive precision this moves between restarts
+                "basis_storage": getattr(basis, "storage", storage),
                 "phase_seconds": {
                     phase: tracer.total_seconds(phase)
                     for phase in _PROGRESS_PHASES
@@ -161,6 +171,7 @@ def run_solve_job(
             spmv_format=spec.get("spmv_format", "csr"),
             basis_mode=spec.get("basis_mode", "cached"),
             accessor_factory=accessor_factory,
+            storage_factory=storage_factory,
             tracer=tracer,
         )
         result = solver.solve(b, target, record_history=False, monitor=monitor)
@@ -277,6 +288,7 @@ def run_solve_batch_job(
                 "iteration": int(iteration),
                 "restart_slot": int(j),
                 "implicit_rrn": float(implicit_rrn),
+                "basis_storage": getattr(basis, "storage", storage),
                 "phase_seconds": {
                     phase: tracer.total_seconds(phase)
                     for phase in _PROGRESS_PHASES

@@ -1,5 +1,14 @@
 """CB-GMRES solver stack (paper Fig. 1) and supporting numerics."""
 
+from .adaptive import (
+    ADAPTIVE_STORAGE,
+    DEFAULT_LADDER,
+    ControllerConfig,
+    CycleFeedback,
+    PrecisionController,
+    PrecisionDecision,
+    storage_unit_roundoff,
+)
 from .analysis import OrthogonalityTrace, basis_perturbation, trace_orthogonality
 from .basis import KrylovBasis, write_basis_vectors_batch
 from .block import BatchGmresResult, solve_batch
@@ -37,6 +46,13 @@ from .predictor import (
 from .problems import Problem, make_expected_solution, make_problem, make_rhs
 
 __all__ = [
+    "ADAPTIVE_STORAGE",
+    "DEFAULT_LADDER",
+    "ControllerConfig",
+    "CycleFeedback",
+    "PrecisionController",
+    "PrecisionDecision",
+    "storage_unit_roundoff",
     "BatchGmresResult",
     "KrylovBasis",
     "solve_batch",

@@ -62,7 +62,15 @@ class KrylovBasis:
     storage:
         Storage-format name (see :func:`repro.accessor.make_accessor`).
     accessor_factory:
-        Override the per-slot accessor construction.
+        Override the per-slot accessor construction with a fixed-format
+        ``factory(n)``.  Incompatible with :meth:`set_storage` (the
+        factory cannot express a format change) — adaptive callers pass
+        ``storage_factory`` instead.
+    storage_factory:
+        Format-aware accessor construction ``factory(storage, n)``,
+        used for the initial build *and* every later
+        :meth:`set_storage` — the hook fault injectors use to keep
+        wrapping accessors across adaptive format switches.
     tracer:
         Optional observe-layer tracer.
     basis_mode:
@@ -83,6 +91,7 @@ class KrylovBasis:
         tracer=None,
         basis_mode: str = "cached",
         tile_elems: int = DEFAULT_TILE_ELEMS,
+        storage_factory: "Callable[[str, int], VectorAccessor] | None" = None,
     ) -> None:
         if m < 1:
             raise ValueError("restart length m must be positive")
@@ -92,13 +101,31 @@ class KrylovBasis:
             )
         if tile_elems < 1:
             raise ValueError("tile_elems must be positive")
+        if accessor_factory is not None and storage_factory is not None:
+            raise ValueError(
+                "pass accessor_factory (fixed format) or storage_factory "
+                "(format-aware), not both"
+            )
         self.n = int(n)
         self.m = int(m)
         self.storage = storage
         self.basis_mode = basis_mode
         self.tracer = tracer or NULL_TRACER
-        factory = accessor_factory or (lambda size: make_accessor(storage, size))
+        self._storage_factory = storage_factory
+        if accessor_factory is not None:
+            self._make: "Callable[[str, int], VectorAccessor] | None" = None
+            factory = accessor_factory
+        else:
+            self._make = storage_factory or make_accessor
+            make = self._make
+
+            def factory(size: int) -> VectorAccessor:
+                return make(storage, size)
+
         self.accessors: List[VectorAccessor] = [factory(n) for _ in range(m + 1)]
+        #: per-slot storage-format names (uniform until :meth:`set_storage`
+        #: is called with explicit ``slots``)
+        self.slot_storages: List[str] = [storage] * (m + 1)
         if self.tracer.enabled:
             for acc in self.accessors:
                 acc.set_tracer(self.tracer)
@@ -140,6 +167,75 @@ class KrylovBasis:
         if self._cache is not None:
             return int(self._cache.nbytes)
         return int(self.fused_log.peak_scratch_bytes)
+
+    def set_storage(self, storage: str, slots: "Optional[List[int]]" = None) -> None:
+        """Switch slot(s) to a new storage format.
+
+        The adaptive-precision hook: :class:`~repro.solvers.adaptive.
+        PrecisionController` calls this at restart boundaries so each
+        restart cycle's basis lives in the format the controller chose;
+        per-vector adaptation passes explicit ``slots``.
+
+        Parameters
+        ----------
+        storage : str
+            New storage-format name.
+        slots : list of int, optional
+            Slot indices to rebuild; default is every slot (and updates
+            :attr:`storage`, the basis-wide label).  Mixed-format bases
+            are fully supported by both basis modes: the fused tile
+            readers fall back to per-accessor tile decodes when slots
+            disagree.
+
+        Raises
+        ------
+        ValueError
+            If the basis was built with a fixed-format
+            ``accessor_factory`` (the factory cannot express the
+            change), or if the new format's decode granularity does not
+            divide the established tile grid (the grid is part of the
+            determinism contract and never moves after construction).
+
+        Notes
+        -----
+        Rebuilt slots come back *empty* (their stored payload and the
+        cached view column are dropped), so switches belong at restart
+        boundaries — exactly where the controller sits — or on slots
+        not yet written this cycle.
+        """
+        if self._make is None:
+            raise ValueError(
+                "this basis was built with a fixed-format accessor_factory; "
+                "pass storage_factory=... to enable set_storage"
+            )
+        targets = list(range(self.m + 1)) if slots is None else list(slots)
+        for j in targets:
+            if not 0 <= j <= self.m:
+                raise IndexError(f"basis slot {j} out of range [0, {self.m}]")
+        fresh = [self._make(storage, self.n) for _ in targets]
+        for acc in fresh:
+            gran = int(getattr(acc, "tile_granularity", 1))
+            if self.tile_elems % gran:
+                raise ValueError(
+                    f"storage {storage!r} decodes in blocks of {gran}, which "
+                    f"does not divide the established tile grid "
+                    f"({self.tile_elems} elems)"
+                )
+            if self.tracer.enabled:
+                acc.set_tracer(self.tracer)
+        for j, acc in zip(targets, fresh):
+            self.accessors[j] = acc
+            self.slot_storages[j] = storage
+            if self._cache is not None:
+                self._cache[:, j] = 0.0
+        if slots is None:
+            self.storage = storage
+
+    @property
+    def uniform_storage(self) -> bool:
+        """True while every slot shares one storage format."""
+        first = self.slot_storages[0]
+        return all(s == first for s in self.slot_storages)
 
     def write_vector(self, j: int, v: np.ndarray) -> None:
         """Compress ``v`` into slot ``j`` (and refresh the cached view)."""
@@ -261,7 +357,13 @@ class KrylovBasis:
         """Tally the stored bytes a GPU kernel would stream for ``V_j``."""
         if self.tracer.enabled and j > 0:
             self.tracer.count("basis.vector_reads", j)
-            self.tracer.count("basis.bytes_read", j * self.stored_vector_nbytes)
+            if self.uniform_storage:
+                nbytes = j * self.stored_vector_nbytes
+            else:  # mixed-format basis: bill each slot at its own width
+                nbytes = sum(
+                    acc.stored_nbytes() for acc in self.accessors[:j]
+                )
+            self.tracer.count("basis.bytes_read", nbytes)
 
     def reset(self) -> None:
         """Forget all vectors (used at restart).

@@ -33,6 +33,12 @@ import numpy as np
 from ..accessor import VectorAccessor
 from ..sparse.csr import CSRMatrix
 from ..fused import DEFAULT_TILE_ELEMS
+from .adaptive import (
+    ADAPTIVE_STORAGE,
+    ControllerConfig,
+    CycleFeedback,
+    PrecisionController,
+)
 from .basis import KrylovBasis
 from .gmres import (
     DEFAULT_MAX_ITER,
@@ -55,6 +61,44 @@ class FlexibleGmres:
     ``z_storage`` is the storage format of the preconditioned vectors
     (the quantity ref [17] compresses), while the orthonormal basis ``V``
     always stays in float64.
+
+    ``z_storage="adaptive"`` puts the Z basis under a
+    :class:`~repro.solvers.adaptive.PrecisionController`: each restart
+    cycle re-selects the cheapest ladder format whose unit roundoff
+    still admits the residual reduction the cycle must deliver.  The
+    orthonormal V basis is untouched (it is already float64), so only
+    the solution-update error channel moves — exactly the channel
+    flexible GMRES tolerates by construction.
+
+    Parameters
+    ----------
+    a : CSRMatrix
+        Square system matrix.
+    z_storage : str, optional
+        Storage format for the preconditioned basis, or ``"adaptive"``.
+    m : int, optional
+        Restart length.
+    eta : float, optional
+        CGS reorthogonalization threshold.
+    max_iter : int, optional
+        Global iteration cap.
+    stall_restarts : int, optional
+        Consecutive non-improving restarts before declaring a stall.
+    preconditioner : Preconditioner, optional
+        ``M`` in ``z = M^-1 v`` (identity when omitted).
+    accessor_factory : callable, optional
+        ``n -> VectorAccessor`` override for the Z basis (fixed formats
+        only; incompatible with ``z_storage="adaptive"``).
+    storage_factory : callable, optional
+        ``(storage, n) -> VectorAccessor`` override used for adaptive
+        solves, where the controller rebuilds accessors per format
+        switch.  Mutually exclusive with ``accessor_factory``.
+    precision : ControllerConfig, optional
+        Controller tuning for ``z_storage="adaptive"``.
+    basis_mode : str, optional
+        ``"cached"`` or ``"streaming"`` for both bases.
+    tile_elems : int, optional
+        Tile size override for the shared tile grid.
     """
 
     def __init__(
@@ -67,6 +111,8 @@ class FlexibleGmres:
         stall_restarts: Optional[int] = 8,
         preconditioner: Optional[Preconditioner] = None,
         accessor_factory: "Callable[[int], VectorAccessor] | None" = None,
+        storage_factory: "Callable[[str, int], VectorAccessor] | None" = None,
+        precision: Optional[ControllerConfig] = None,
         basis_mode: str = "cached",
         tile_elems: Optional[int] = None,
     ) -> None:
@@ -74,6 +120,15 @@ class FlexibleGmres:
             raise ValueError("FGMRES requires a square matrix")
         if m < 1:
             raise ValueError("restart length must be positive")
+        if accessor_factory is not None and storage_factory is not None:
+            raise ValueError(
+                "accessor_factory and storage_factory are mutually exclusive"
+            )
+        if z_storage == ADAPTIVE_STORAGE and accessor_factory is not None:
+            raise ValueError(
+                "adaptive z_storage rebuilds accessors per format switch; "
+                "pass storage_factory instead of accessor_factory"
+            )
         self.a = a
         self.z_storage = z_storage
         self.m = int(m)
@@ -82,6 +137,8 @@ class FlexibleGmres:
         self.stall_restarts = stall_restarts
         self.preconditioner = preconditioner or IdentityPreconditioner()
         self._factory = accessor_factory
+        self._storage_factory = storage_factory
+        self.precision = precision
         self.basis_mode = basis_mode
         self.tile_elems = tile_elems
 
@@ -105,16 +162,21 @@ class FlexibleGmres:
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
         tile = self.tile_elems if self.tile_elems else DEFAULT_TILE_ELEMS
+        adaptive = self.z_storage == ADAPTIVE_STORAGE
+        controller = PrecisionController(self.precision) if adaptive else None
         v_basis = KrylovBasis(
             n, self.m, "float64", basis_mode=self.basis_mode, tile_elems=tile
         )
         z_basis = KrylovBasis(
             n,
             self.m,
-            self.z_storage,
+            # placeholder until the controller's first decision (taken
+            # right before the first cycle, like CbGmres)
+            controller.config.ladder[-1] if adaptive else self.z_storage,
             self._factory,
             basis_mode=self.basis_mode,
             tile_elems=tile,
+            storage_factory=self._storage_factory,
         )
         stats = SolveStats(
             n=n,
@@ -141,6 +203,16 @@ class FlexibleGmres:
         prev_explicit = np.inf
         converged = False
         stalled = False
+        # adaptive bookkeeping: per-format Z-traffic buckets + the state
+        # of the cycle in flight (for controller feedback)
+        cycle_mark: Optional[dict] = None
+        bits_seen: dict = {}
+        z_reads: dict = {}
+        z_writes: dict = {}
+
+        def bucket(d: dict, k: int) -> None:
+            d[z_basis.storage] = d.get(z_basis.storage, 0) + k
+            bits_seen[z_basis.storage] = z_basis.bits_per_value
 
         while True:
             r = b - a.matvec(x)
@@ -165,6 +237,28 @@ class FlexibleGmres:
                     stagnant = 0
             prev_explicit = min(prev_explicit, rrn)
 
+            if controller is not None:
+                if cycle_mark is not None:
+                    controller.observe_cycle(CycleFeedback(
+                        storage=cycle_mark["storage"],
+                        start_rrn=cycle_mark["rrn"],
+                        end_rrn=rrn,
+                        iterations=total_iters - cycle_mark["iterations"],
+                        reorthogonalizations=(
+                            stats.reorthogonalizations - cycle_mark["reorth"]
+                        ),
+                    ))
+                decision = controller.decide(rrn, target_rrn)
+                if decision.storage != z_basis.storage:
+                    z_basis.set_storage(decision.storage)
+                stats.storage_trace.append(decision.storage)
+                cycle_mark = {
+                    "storage": z_basis.storage,
+                    "rrn": rrn,
+                    "iterations": total_iters,
+                    "reorth": stats.reorthogonalizations,
+                }
+
             v_basis.reset()
             z_basis.reset()
             v = r / beta
@@ -180,6 +274,8 @@ class FlexibleGmres:
                     stats.preconditioner_applies += 1
                 z_basis.write_vector(j - 1, z)
                 stats.basis_writes += 1
+                if controller is not None:
+                    bucket(z_writes, 1)
                 # counted read: the SpMV streams z_{j-1} from compressed
                 # storage (ref [17] halves the saving, not the traffic)
                 w = a.matvec(z_basis.read_vector(j - 1))
@@ -207,12 +303,27 @@ class FlexibleGmres:
             y = lsq.solve()
             x = x + z_basis.combine(j_used, y)
             stats.basis_reads += j_used
+            if controller is not None:
+                bucket(z_reads, j_used)
             stats.dense_vector_ops += 1
             stats.restarts += 1
 
         final_rrn = float(np.linalg.norm(b - a.matvec(x)) / bnorm)
         stats.spmv_calls += 1
         stats.bits_per_value = z_basis.bits_per_value
+        if controller is not None:
+            stats.reads_by_storage = dict(z_reads)
+            stats.writes_by_storage = dict(z_writes)
+            stats.precision_upshifts = controller.upshifts
+            stats.precision_downshifts = controller.downshifts
+            traffic = {
+                f: z_reads.get(f, 0) + z_writes.get(f, 0) for f in bits_seen
+            }
+            weight = sum(traffic.values())
+            if weight:
+                stats.bits_per_value = (
+                    sum(bits_seen[f] * traffic[f] for f in bits_seen) / weight
+                )
         # both bases contribute float64 working set and fused-kernel work
         stats.basis_peak_float64_bytes = (
             v_basis.peak_float64_bytes + z_basis.peak_float64_bytes
@@ -236,4 +347,7 @@ class FlexibleGmres:
             history=history,
             stats=stats,
             stalled=stalled,
+            precision_trace=(
+                list(controller.decisions) if controller is not None else []
+            ),
         )

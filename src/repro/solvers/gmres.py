@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -31,6 +31,13 @@ from ..observe import NULL_TRACER
 from ..sparse.csr import CSRMatrix
 from ..sparse.engine import SPMV_FORMATS, SpmvEngine
 from ..fused import DEFAULT_TILE_ELEMS
+from .adaptive import (
+    ADAPTIVE_STORAGE,
+    ControllerConfig,
+    CycleFeedback,
+    PrecisionController,
+    PrecisionDecision,
+)
 from .basis import BASIS_MODES, KrylovBasis
 from .hessenberg import GivensLeastSquares
 from .orthogonal import DEFAULT_ETA, cgs_orthogonalize, mgs_orthogonalize
@@ -128,6 +135,19 @@ class SolveStats:
     fused_combine_vectors: int = 0
     fused_tiles: int = 0
     fused_values: int = 0
+    #: adaptive precision (``storage="adaptive"``): the format each
+    #: restart cycle's basis was stored in, in restart order — empty for
+    #: fixed-storage solves
+    storage_trace: List[str] = field(default_factory=list)
+    #: adaptive precision: ``basis_reads`` split by the storage format
+    #: the touched vectors were stored in (the timing model prices each
+    #: bucket at its own width); empty for fixed-storage solves
+    reads_by_storage: Dict[str, int] = field(default_factory=dict)
+    #: adaptive precision: ``basis_writes`` split by storage format
+    writes_by_storage: Dict[str, int] = field(default_factory=dict)
+    #: controller decisions that moved up/down the precision ladder
+    precision_upshifts: int = 0
+    precision_downshifts: int = 0
 
 
 @dataclass
@@ -147,6 +167,9 @@ class GmresResult:
     breakdown_events: List[BreakdownEvent] = field(default_factory=list)
     #: the recovery budget ran out before the solve could finish
     recovery_exhausted: bool = False
+    #: adaptive precision: one :class:`~repro.solvers.adaptive.
+    #: PrecisionDecision` per restart cycle (empty for fixed storage)
+    precision_trace: List[PrecisionDecision] = field(default_factory=list)
 
     @property
     def recoveries(self) -> int:
@@ -231,6 +254,21 @@ class CbGmres:
         (basis, accessors, FRSZ2 codec).  The default null tracer is a
         set of no-ops: results are bit-identical either way, since
         tracing never touches the numerics.
+    precision:
+        Optional :class:`~repro.solvers.adaptive.ControllerConfig`
+        tuning the adaptive precision controller; only consulted when
+        ``storage="adaptive"``, which makes the basis storage a
+        per-restart decision (downshifting toward frsz2_16 when the
+        error model admits it, upshifting on orthogonality distress —
+        see :mod:`repro.solvers.adaptive` and ``docs/PRECISION.md``).
+        Adaptive results keep ``storage="adaptive"`` and additionally
+        carry ``stats.storage_trace`` / ``stats.reads_by_storage`` /
+        ``stats.writes_by_storage`` and ``result.precision_trace``.
+    storage_factory:
+        Format-aware accessor construction ``factory(storage, n)``,
+        honored across adaptive format switches (fault injectors wrap
+        storage through this hook).  Mutually exclusive with
+        ``accessor_factory``, which pins one format.
     max_recoveries:
         Bound on *consecutive fruitless* recoveries: the counter grows
         with every recovery and resets whenever the explicit residual
@@ -259,6 +297,8 @@ class CbGmres:
         basis_mode: str = "cached",
         tile_elems: int = DEFAULT_TILE_ELEMS,
         tracer=None,
+        precision: Optional[ControllerConfig] = None,
+        storage_factory: "Callable[[str, int], VectorAccessor] | None" = None,
     ) -> None:
         if a.shape[0] != a.shape[1]:
             raise ValueError("GMRES requires a square matrix")
@@ -302,6 +342,19 @@ class CbGmres:
         self.basis_mode = basis_mode
         self.tile_elems = int(tile_elems)
         self.tracer = tracer or NULL_TRACER
+        if accessor_factory is not None and storage_factory is not None:
+            raise ValueError(
+                "pass accessor_factory (fixed format) or storage_factory "
+                "(format-aware), not both"
+            )
+        if storage == ADAPTIVE_STORAGE and accessor_factory is not None:
+            raise ValueError(
+                "adaptive storage switches formats mid-solve; override "
+                "accessor construction with storage_factory=... instead of "
+                "the fixed-format accessor_factory"
+            )
+        self.precision = precision
+        self._storage_factory = storage_factory
 
     def solve(
         self,
@@ -362,14 +415,24 @@ class CbGmres:
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
         tracer = self.tracer
+        adaptive = self.storage == ADAPTIVE_STORAGE
+        controller: Optional[PrecisionController] = (
+            PrecisionController(self.precision, tracer=tracer) if adaptive else None
+        )
+        # a fresh controller per solve keeps solves independent (and the
+        # cached/streaming bit-identity contract: decisions depend only
+        # on explicit residuals, which the modes share exactly)
         basis = KrylovBasis(
             n,
             self.m,
-            self.storage,
+            # adaptive: first decision lands before the first write; the
+            # ladder top is a never-read placeholder until then
+            controller.config.ladder[-1] if controller else self.storage,
             self._factory,
             tracer=tracer,
             basis_mode=self.basis_mode,
             tile_elems=self.tile_elems,
+            storage_factory=self._storage_factory,
         )
         stats = SolveStats(
             n=n,
@@ -412,6 +475,14 @@ class CbGmres:
         stalled = False
         events: List[BreakdownEvent] = []
         exhausted = False
+        # adaptive bookkeeping: stat counters at the open cycle's start
+        # (to compute per-cycle feedback deltas) and the stored bits of
+        # every format actually used (for the traffic-weighted mean)
+        cycle_mark: Optional[dict] = None
+        bits_seen: Dict[str, float] = {}
+
+        def bucket(d: Dict[str, int], k: int) -> None:
+            d[basis.storage] = d.get(basis.storage, 0) + k
 
         def recover(event: BreakdownEvent) -> bool:
             """Log a recovery; True while the fruitless budget remains."""
@@ -457,10 +528,44 @@ class CbGmres:
                     stagnant = 0
             prev_explicit = min(prev_explicit, rrn)
 
+            if controller is not None:
+                # feed the finished cycle back, then pick this cycle's
+                # storage — both on explicit residuals, so the decision
+                # stream is identical across basis modes
+                if cycle_mark is not None:
+                    controller.observe_cycle(CycleFeedback(
+                        storage=basis.storage,
+                        start_rrn=cycle_mark["rrn"],
+                        end_rrn=rrn,
+                        iterations=stats.iterations - cycle_mark["iters"],
+                        reorthogonalizations=(
+                            stats.reorthogonalizations - cycle_mark["reorth"]
+                        ),
+                        loss_of_orthogonality=any(
+                            e.kind == "loss_of_orthogonality"
+                            for e in events[cycle_mark["events"]:]
+                        ),
+                        recoveries=stats.recoveries - cycle_mark["recov"],
+                    ))
+                decision = controller.decide(rrn, target_rrn)
+                if decision.storage != basis.storage:
+                    basis.set_storage(decision.storage)
+                stats.storage_trace.append(decision.storage)
+                cycle_mark = {
+                    "rrn": rrn,
+                    "iters": stats.iterations,
+                    "reorth": stats.reorthogonalizations,
+                    "recov": stats.recoveries,
+                    "events": len(events),
+                }
+
             basis.reset()
             v = r / beta
             basis.write_vector(0, v)
             stats.basis_writes += 1
+            if adaptive:
+                bucket(stats.writes_by_storage, 1)
+                bits_seen[basis.storage] = basis.bits_per_value
             lsq = GivensLeastSquares(self.m, beta)
 
             # -- Arnoldi cycle ------------------------------------------
@@ -487,6 +592,11 @@ class CbGmres:
                 with tracer.span("orthogonalize"):
                     ores = orthogonalize(basis, j, w, self.eta)
                 stats.basis_reads += 2 * j if ores.reorthogonalized else j
+                if adaptive:
+                    bucket(
+                        stats.reads_by_storage,
+                        2 * j if ores.reorthogonalized else j,
+                    )
                 stats.reorthogonalizations += int(ores.reorthogonalized)
                 stats.dense_vector_ops += 4
                 if self.recovery and ores.nonfinite:
@@ -522,6 +632,8 @@ class CbGmres:
                     )
                     break
                 stats.basis_writes += 1
+                if adaptive:
+                    bucket(stats.writes_by_storage, 1)
                 if impl <= target_rrn or total_iters >= self.max_iter:
                     break
 
@@ -552,6 +664,8 @@ class CbGmres:
                 break
             x = x + update
             stats.basis_reads += j_used
+            if adaptive:
+                bucket(stats.reads_by_storage, j_used)
             stats.dense_vector_ops += 1
             stats.restarts += 1
 
@@ -566,6 +680,21 @@ class CbGmres:
             final_rrn = rrn if np.isfinite(rrn) else float(prev_explicit)
         # round-trip formats only know their compressed size after writing
         stats.bits_per_value = basis.bits_per_value
+        if controller is not None:
+            stats.precision_upshifts = controller.upshifts
+            stats.precision_downshifts = controller.downshifts
+            # one scalar cannot name a mixed-storage solve's width, so
+            # report the traffic-weighted mean of the formats used
+            touches = {
+                fmt: stats.reads_by_storage.get(fmt, 0)
+                + stats.writes_by_storage.get(fmt, 0)
+                for fmt in bits_seen
+            }
+            weight = sum(touches.values())
+            if weight:
+                stats.bits_per_value = (
+                    sum(bits_seen[f] * t for f, t in touches.items()) / weight
+                )
         stats.basis_peak_float64_bytes = basis.peak_float64_bytes
         flog = basis.fused_log
         stats.fused_dot_calls = flog.dot_calls
@@ -588,6 +717,7 @@ class CbGmres:
             stalled=stalled,
             breakdown_events=events,
             recovery_exhausted=exhausted,
+            precision_trace=list(controller.decisions) if controller else [],
         )
 
     def solve_batch(
@@ -633,6 +763,12 @@ class CbGmres:
         """
         from .block import solve_batch as _solve_batch
 
+        if self.storage == ADAPTIVE_STORAGE:
+            raise ValueError(
+                "solve_batch does not support adaptive storage: each "
+                "column's controller would diverge from the lockstep; "
+                "solve the columns independently instead"
+            )
         return _solve_batch(
             self,
             B,

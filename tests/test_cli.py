@@ -214,3 +214,72 @@ class TestThroughputCommand:
 
     def test_throughput_unknown_matrix(self, capsys):
         assert main(["throughput", "--matrices", "not_a_matrix"]) == 2
+
+
+class TestSharedOptionRegistry:
+    """The shared-option registry is the single source of truth: every
+    declared flag must be registered on its subcommand, and every
+    epilog row must come from the same table (no drift possible)."""
+
+    def _subparsers(self):
+        import argparse
+
+        parser = build_parser()
+        (action,) = [
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        ]
+        return action.choices
+
+    def test_every_declared_flag_is_registered(self):
+        from repro.__main__ import SHARED_BY_COMMAND
+
+        subs = self._subparsers()
+        for command, options in SHARED_BY_COMMAND.items():
+            flags = subs[command].format_help()
+            for name in options:
+                assert f"--{name}" in flags, (command, name)
+
+    def test_epilog_lists_exactly_the_shared_flags(self):
+        from repro.__main__ import SHARED_BY_COMMAND, shared_epilog
+
+        for command, options in SHARED_BY_COMMAND.items():
+            epilog = shared_epilog(command)
+            for name in options:
+                assert f"--{name}" in epilog, (command, name)
+
+    def test_no_subcommand_drifts_on_core_grid_flags(self):
+        """The drift this registry exists to prevent: every solver-grid
+        subcommand must take --spmv-format AND --basis-mode (the faults
+        subcommand historically lacked --basis-mode)."""
+        subs = self._subparsers()
+        for command in ("solve", "faults", "bench", "serve", "throughput"):
+            helptext = subs[command].format_help()
+            assert "--spmv-format" in helptext, command
+            assert "--basis-mode" in helptext, command
+
+    def test_overrides_only_touch_default_and_help(self):
+        from repro.__main__ import SHARED_BY_COMMAND
+
+        for command, options in SHARED_BY_COMMAND.items():
+            for name, overrides in options.items():
+                assert set(overrides) <= {"default", "help", "choices"}, (
+                    command, name,
+                )
+
+    def test_defaults_survive_refactor(self):
+        p = build_parser()
+        args = p.parse_args(["faults"])
+        assert args.basis_mode == "cached"
+        assert args.spmv_format == "csr"
+        assert args.restart == 50
+        args = p.parse_args(["serve", "lung2"])
+        assert args.storage == "frsz2_32"
+        assert args.scale == "smoke"
+
+    def test_adaptive_storage_accepted(self):
+        p = build_parser()
+        assert p.parse_args(["solve", "lung2", "--storage", "adaptive"]).storage == "adaptive"
+        assert p.parse_args(["bench", "--storages", "adaptive"]).storages == ["adaptive"]
+        assert p.parse_args(["faults", "--storages", "adaptive"]).storages == ["adaptive"]
+        assert p.parse_args(["serve", "lung2", "--storage", "adaptive"]).storage == "adaptive"

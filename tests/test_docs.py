@@ -32,6 +32,43 @@ def test_readme_doctests():
     assert results.failed == 0
 
 
+#: pages the docs set must always contain, with the sections we promise
+REQUIRED_PAGES = {
+    "docs/PRECISION.md": (
+        "## The switching rule",
+        "## Composition with robust escalation",
+        "## Mixed-storage bases",
+        "## Worked example",
+    ),
+    "docs/ARCHITECTURE.md": ("Adaptive precision data flow",),
+    "docs/EXPERIMENTS.md": ("--storage adaptive",),
+}
+
+#: page -> markdown files that must link to it
+REQUIRED_INBOUND_LINKS = {
+    "docs/PRECISION.md": ("README.md", "docs/ARCHITECTURE.md"),
+}
+
+
+@pytest.mark.parametrize("page", sorted(REQUIRED_PAGES), ids=str)
+def test_required_page_exists_with_sections(page):
+    """Key documentation pages exist and keep their promised sections."""
+    path = REPO / page
+    assert path.exists(), f"{page} is missing"
+    text = path.read_text()
+    for heading in REQUIRED_PAGES[page]:
+        assert heading in text, f"{page} lost its '{heading}' section"
+
+
+@pytest.mark.parametrize("page", sorted(REQUIRED_INBOUND_LINKS), ids=str)
+def test_required_page_is_linked(page):
+    """Key pages are reachable from the places readers start at."""
+    name = Path(page).name
+    for source in REQUIRED_INBOUND_LINKS[page]:
+        text = (REPO / source).read_text()
+        assert name in text, f"{source} no longer links to {page}"
+
+
 @pytest.mark.parametrize("md", DOC_FILES, ids=lambda p: str(p.relative_to(REPO)))
 def test_no_dead_relative_links(md):
     """Relative links in markdown must point at existing files."""
