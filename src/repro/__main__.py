@@ -55,6 +55,7 @@ import numpy as np
 _SCALES = ["smoke", "default", "paper"]
 _SPMV_CHOICES = ["auto", "csr", "ell", "sell"]
 _BASIS_MODES = ["cached", "streaming"]
+_BACKENDS = ["numpy", "jit"]
 
 #: single source of truth for options shared across subcommands.
 #: ``build_parser`` registers each subcommand's flags from this table
@@ -92,6 +93,13 @@ SHARED_OPTIONS: "Dict[str, Dict[str, Any]]" = {
              "float64 mirror; streaming decodes compressed tiles "
              "on the fly (O(tile) instead of O(n*m) float64)",
     ),
+    "backend": dict(
+        default="numpy", choices=_BACKENDS,
+        help="kernel backend: numpy reference or jit-compiled kernels "
+             "(bit-identical results; jit falls back to numpy with a "
+             "warning when no engine is available — install the [jit] "
+             "extra or a C compiler)",
+    ),
 }
 
 #: which shared options each subcommand takes, with the per-command
@@ -105,6 +113,7 @@ SHARED_BY_COMMAND: "Dict[str, Dict[str, Dict[str, Any]]]" = {
         "max-iter": dict(default=20_000),
         "spmv-format": dict(default="auto"),
         "basis-mode": {},
+        "backend": {},
     },
     "experiment": {"scale": {}},
     "calibrate": {"scale": {}, "max-iter": {}},
@@ -124,6 +133,7 @@ SHARED_BY_COMMAND: "Dict[str, Dict[str, Dict[str, Any]]]" = {
                  "(default csr, the historical campaign baseline)",
         ),
         "basis-mode": {},
+        "backend": {},
     },
     "bench": {
         "storages": dict(
@@ -148,6 +158,7 @@ SHARED_BY_COMMAND: "Dict[str, Dict[str, Dict[str, Any]]]" = {
             help="basis mode of the primary traced solve (the "
                  "per-entry basis block always compares both modes)",
         ),
+        "backend": {},
     },
     "throughput": {
         "storages": dict(
@@ -164,6 +175,7 @@ SHARED_BY_COMMAND: "Dict[str, Dict[str, Dict[str, Any]]]" = {
         "max-iter": dict(default=400),
         "spmv-format": {},
         "basis-mode": {},
+        "backend": {},
     },
     "serve": {
         "storage": {},
@@ -172,6 +184,7 @@ SHARED_BY_COMMAND: "Dict[str, Dict[str, Dict[str, Any]]]" = {
         "max-iter": dict(default=400),
         "spmv-format": {},
         "basis-mode": {},
+        "backend": {},
     },
 }
 
@@ -239,12 +252,17 @@ def _cmd_solve(args) -> int:
     from .solvers import CbGmres, FlexibleGmres, JacobiPreconditioner, make_problem
     from .sparse import SpmvEngine
 
+    from .jit import dispatch as _dispatch
+
     p = make_problem(args.matrix, args.scale)
     target = args.target if args.target is not None else p.target_rrn
     prec = JacobiPreconditioner(p.a) if args.jacobi else None
+    # resolve once so an unavailable-jit warning prints a single time,
+    # not once from the engine and again from the solver
+    backend = _dispatch.resolve_backend(args.backend)
     a = p.a
     if args.spmv_format != "csr":
-        a = SpmvEngine(a, format=args.spmv_format)
+        a = SpmvEngine(a, format=args.spmv_format, backend=backend)
         print(f"SpMV engine: {args.spmv_format} -> {a.resolved_format} "
               f"(padding {a.padding_ratio:.2f}x)")
     solver_cls = FlexibleGmres if args.solver == "fgmres" else CbGmres
@@ -255,6 +273,7 @@ def _cmd_solve(args) -> int:
         max_iter=args.max_iter,
         preconditioner=prec,
         basis_mode=args.basis_mode,
+        backend=backend,
     )
     res = solver.solve(p.b, target)
     status = "converged" if res.converged else ("stalled" if res.stalled else "hit cap")
@@ -401,6 +420,7 @@ def _cmd_faults(args) -> int:
             jobs=args.jobs,
             spmv_format=args.spmv_format,
             basis_mode=args.basis_mode,
+            backend=args.backend,
         )
     except (KeyError, ValueError, WorkerCrashError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -460,6 +480,7 @@ def _cmd_bench(args) -> int:
             jobs=args.jobs,
             spmv_format=args.spmv_format,
             basis_mode=args.basis_mode,
+            backend=args.backend,
         )
     except (KeyError, ValueError, WorkerCrashError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -491,7 +512,15 @@ def _cmd_bench(args) -> int:
         + [f"{p}%" for p in BENCH_PHASES],
         rows,
     ))
-    print(f"\nwrote {args.out} ({len(doc['entries'])} entries)")
+    bk = doc["backend"]
+    line = f"\nbackend: {bk['resolved']}"
+    if bk["engine"]:
+        line += f" ({bk['engine']})"
+    if bk["codec_speedup_geomean"] is not None:
+        line += (f", codec speedup geomean "
+                 f"{bk['codec_speedup_geomean']:.2f}x vs numpy")
+    print(line)
+    print(f"wrote {args.out} ({len(doc['entries'])} entries)")
     return 0
 
 
@@ -532,6 +561,7 @@ def _cmd_throughput(args) -> int:
             rounds=args.rounds,
             spmv_format=args.spmv_format,
             basis_mode=args.basis_mode,
+            backend=args.backend,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -602,6 +632,7 @@ def _cmd_serve(args) -> int:
                 rhs_seed=None if args.rhs_seed is None else args.rhs_seed + i,
                 spmv_format=args.spmv_format,
                 basis_mode=args.basis_mode,
+                backend=args.backend,
                 deadline_s=args.deadline,
                 progress_every=args.progress_every,
                 chaos=chaos,

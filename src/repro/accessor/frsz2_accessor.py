@@ -80,6 +80,10 @@ class Frsz2Accessor(VectorAccessor):
         Capacity of the decoded-block LRU cache, in blocks.  ``0``
         disables caching (every read re-decodes, the pre-cache
         behaviour).  Cached and uncached reads are bit-identical.
+    backend : {"numpy", "jit"}, optional
+        Codec kernel backend (forwarded to :class:`~repro.core.FRSZ2`).
+        Bit-identical across backends, so mixed-backend accessors may
+        share batched reads/writes freely.
 
     Attributes
     ----------
@@ -96,9 +100,15 @@ class Frsz2Accessor(VectorAccessor):
         block_size: int = 32,
         rounding: bool = False,
         cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__(n)
-        self.codec = FRSZ2(bit_length=bit_length, block_size=block_size, rounding=rounding)
+        self.codec = FRSZ2(
+            bit_length=bit_length,
+            block_size=block_size,
+            rounding=rounding,
+            backend=backend,
+        )
         self.name = f"frsz2_{bit_length}"
         self._compressed: Optional[Frsz2Compressed] = None
         if cache_blocks < 0:

@@ -39,17 +39,23 @@ def list_storage_formats() -> List[str]:
     )
 
 
-def make_accessor(name: str, n: int, **kwargs) -> VectorAccessor:
+def make_accessor(
+    name: str, n: int, backend: "str | None" = None, **kwargs
+) -> VectorAccessor:
     """Build a vector accessor for storage format ``name``.
 
     ``kwargs`` are forwarded to FRSZ2 accessors (``block_size``,
-    ``rounding``) for ablation studies.
+    ``rounding``) for ablation studies.  ``backend`` selects the codec
+    kernel backend for FRSZ2 formats (bit-identical across backends)
+    and is ignored by formats with no codec kernels.
     """
     if name in _PRECISION:
         return _PRECISION[name](n)
     m = _FRSZ2_RE.match(name)
     if m:
-        return Frsz2Accessor(n, bit_length=int(m.group(1)), **kwargs)
+        return Frsz2Accessor(
+            n, bit_length=int(m.group(1)), backend=backend, **kwargs
+        )
     if name in TABLE_II or name in EXTRA_CONFIGS:
         return RoundTripAccessor(n, make_compressor(name), name)
     raise KeyError(
@@ -58,7 +64,14 @@ def make_accessor(name: str, n: int, **kwargs) -> VectorAccessor:
     )
 
 
-def accessor_factory(name: str, **kwargs) -> Callable[[int], VectorAccessor]:
+def accessor_factory(
+    name: str, backend: "str | None" = None, **kwargs
+) -> Callable[[int], VectorAccessor]:
     """Return ``n -> accessor`` for a format name (validates eagerly)."""
-    make_accessor(name, 0, **kwargs)  # fail fast on bad names
-    return lambda n: make_accessor(name, n, **kwargs)
+    from ..jit import dispatch as _dispatch
+
+    # resolve once so an unavailable-jit warning fires at factory build
+    # time, not on every accessor the solver constructs
+    backend = _dispatch.resolve_backend(backend)
+    make_accessor(name, 0, backend=backend, **kwargs)  # fail fast on bad names
+    return lambda n: make_accessor(name, n, backend=backend, **kwargs)

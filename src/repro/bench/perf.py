@@ -30,6 +30,7 @@ import numpy as np
 
 from ..gpu.device import DeviceSpec, H100_PCIE
 from ..gpu.timing import GmresTimingModel
+from ..jit import dispatch as _dispatch
 from ..observe import NULL_TRACER, Tracer
 from ..parallel import run_grid
 from ..solvers.adaptive import ADAPTIVE_STORAGE
@@ -65,8 +66,15 @@ BENCH_SCHEMA = "repro.bench.gmres"
 #: v4: ``adaptive`` joins the default storage grid and adaptive entries
 #: carry a ``precision`` block — per-restart storage trace, modeled
 #: stored-basis bytes saved vs a fixed frsz2_32 companion solve, and the
-#: iteration-count delta)
-BENCH_SCHEMA_VERSION = 4
+#: iteration-count delta;
+#: v5: kernel backends — top-level and per-entry ``backend`` blocks
+#: recording the requested/resolved backend and jit engine, a
+#: best-of-rounds codec write+read microbench with ``speedup_vs_numpy``
+#: on codec-bound (frsz2_*) entries, and an in-bench full-solve
+#: jit-vs-numpy bit-identity gate that refuses to emit on divergence;
+#: every entry is preceded by an untimed warm-up solve so jit compile
+#: and first-round cold caches never pollute the timed regions)
+BENCH_SCHEMA_VERSION = 5
 #: per-phase attribution keys (observe span names + the remainder)
 BENCH_PHASES = (
     "spmv",
@@ -120,6 +128,34 @@ def _spmv_wall_seconds(op, x, rounds: int = 7, reps: int = 10) -> float:
     return best
 
 
+def _codec_cycle_seconds(
+    n: int, bit_length: int, backend: str, rounds: int = 5, reps: int = 3
+) -> float:
+    """Best-of-``rounds`` mean FRSZ2 write+read cycle wall time.
+
+    The per-entry ``speedup_vs_numpy`` microbench: one compress of an
+    ``n``-vector followed by one full decompress, through the given
+    kernel backend.  The warm-up call outside the timing absorbs the
+    jit engine's one-time compile/load (and numpy's first-touch
+    allocations), so best-of-rounds only ever sees steady state.
+    """
+    from ..accessor.frsz2_accessor import Frsz2Accessor
+
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal(n)
+    acc = Frsz2Accessor(n, bit_length=bit_length, backend=backend)
+    acc.write(values)
+    acc.read()  # warm-up: engine compile + allocations outside the timing
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            acc.write(values)
+            acc.read()
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
 def run_bench_entry(
     matrix: str,
     storage: str,
@@ -130,6 +166,7 @@ def run_bench_entry(
     device: DeviceSpec = H100_PCIE,
     spmv_format: str = "auto",
     basis_mode: str = "cached",
+    backend: str = "numpy",
 ) -> dict:
     """Run one traced solve and return its bench entry.
 
@@ -156,6 +193,15 @@ def run_bench_entry(
         or ``streaming``).  Both modes additionally run once untraced
         for the entry's ``basis.modes`` wall/peak-memory comparison and
         its ``bit_identical_modes`` equality check.
+    backend : str, default "numpy"
+        Kernel backend (``numpy``/``jit``) applied to the solver, the
+        SpMV engine and the codec.  ``jit`` entries additionally run an
+        untraced full solve on the numpy backend and raise
+        ``ValueError`` on any bit divergence — a diverging grid refuses
+        to emit a bench document.  The entry's ``backend`` block
+        records the resolved backend, the jit engine name, and (for
+        frsz2_* storages) the codec write+read microbench with its
+        ``speedup_vs_numpy``.
 
     Returns
     -------
@@ -170,12 +216,24 @@ def run_bench_entry(
         raise ValueError(
             f"unknown basis_mode {basis_mode!r}; expected one of {BASIS_MODES}"
         )
+    requested_backend = str(backend)
+    backend = _dispatch.resolve_backend(backend)
+    engine_name = _dispatch.jit_engine_name() if backend == "jit" else None
     problem = make_problem(matrix, scale, target_rrn=target_rrn)
+    # untimed warm-up pass (schema v5): a single-restart solve touches
+    # every kernel family first, so the jit engine's one-time compile
+    # and the numpy path's first-round cold caches are paid here, never
+    # inside wall_total or the best-of-rounds microbenches below
+    CbGmres(
+        problem.a, storage, m=m, max_iter=m,
+        spmv_format=spmv_format, basis_mode=basis_mode, backend=backend,
+    ).solve(problem.b, problem.target_rrn)
     tracer = Tracer()
     problem.a.tracer = tracer
     solver = CbGmres(
         problem.a, storage, m=m, max_iter=max_iter,
         spmv_format=spmv_format, basis_mode=basis_mode, tracer=tracer,
+        backend=backend,
     )
     t0 = time.perf_counter()
     result = solver.solve(problem.b, problem.target_rrn)
@@ -238,7 +296,8 @@ def run_bench_entry(
     try:
         for mode in BENCH_BASIS_MODES:
             mode_solver = CbGmres(
-                engine, storage, m=m, max_iter=max_iter, basis_mode=mode
+                engine, storage, m=m, max_iter=max_iter, basis_mode=mode,
+                backend=backend,
             )
             mt0 = time.perf_counter()
             mode_result = mode_solver.solve(problem.b, problem.target_rrn)
@@ -270,7 +329,7 @@ def run_bench_entry(
         try:
             fixed = CbGmres(
                 engine, PRECISION_BASELINE_STORAGE, m=m, max_iter=max_iter,
-                basis_mode=basis_mode,
+                basis_mode=basis_mode, backend=backend,
             ).solve(problem.b, problem.target_rrn)
         finally:
             problem.a.tracer = tracer
@@ -315,6 +374,56 @@ def run_bench_entry(
             "baseline_converged": bool(fixed.converged),
         }
 
+    # backend block (schema v5).  jit entries re-run the full solve on
+    # the numpy reference backend and must match bit for bit — a
+    # diverging jit kernel refuses to emit rather than record timings
+    # for a different computation.  This gate runs last because it
+    # flips the shared engine's kernels to numpy in place.
+    bit_identical_numpy = True
+    if backend == "jit":
+        problem.a.tracer = NULL_TRACER
+        try:
+            ref = CbGmres(
+                engine, storage, m=m, max_iter=max_iter,
+                basis_mode=basis_mode, backend="numpy",
+            ).solve(problem.b, problem.target_rrn)
+        finally:
+            problem.a.tracer = tracer
+        bit_identical_numpy = bool(
+            ref.iterations == result.iterations
+            and np.array_equal(ref.x, result.x)
+            and [s.rrn for s in ref.history] == [s.rrn for s in result.history]
+        )
+        if not bit_identical_numpy:
+            raise ValueError(
+                f"jit backend diverged from numpy on {matrix}/{storage}: "
+                "refusing to emit a bench entry for a different computation"
+            )
+    codec_wall = numpy_codec_wall = speedup_vs_numpy = None
+    if storage.startswith("frsz2_"):
+        bit_length = int(storage.split("_", 1)[1])
+        numpy_codec_wall = _codec_cycle_seconds(
+            int(result.stats.n), bit_length, "numpy"
+        )
+        if backend == "jit":
+            codec_wall = _codec_cycle_seconds(
+                int(result.stats.n), bit_length, "jit"
+            )
+        else:
+            codec_wall = numpy_codec_wall
+        speedup_vs_numpy = (
+            numpy_codec_wall / codec_wall if codec_wall > 0 else 1.0
+        )
+    backend_block = {
+        "requested": requested_backend,
+        "resolved": str(backend),
+        "engine": engine_name,
+        "bit_identical_numpy": bit_identical_numpy,
+        "codec_wall_seconds": codec_wall,
+        "numpy_codec_wall_seconds": numpy_codec_wall,
+        "speedup_vs_numpy": speedup_vs_numpy,
+    }
+
     return {
         "matrix": matrix,
         "storage": storage,
@@ -329,6 +438,7 @@ def run_bench_entry(
         "bits_per_value": float(result.stats.bits_per_value),
         "wall_seconds": float(wall_total),
         "modeled_seconds": float(sum(modeled.values())),
+        "backend": backend_block,
         "spmv": {
             "requested": str(spmv_format),
             "format": str(resolved),
@@ -379,6 +489,7 @@ def run_bench(
     jobs: int = 1,
     spmv_format: str = "auto",
     basis_mode: str = "cached",
+    backend: str = "numpy",
 ) -> dict:
     """Run the full grid and return the schema-versioned bench document.
 
@@ -408,6 +519,13 @@ def run_bench(
         Basis kernel structure of every cell's primary traced solve
         (``--basis-mode``); each entry's ``basis.modes`` block always
         times *both* modes regardless.
+    backend : str, default "numpy"
+        Kernel backend (``--backend``) applied to every cell.  The
+        document's top-level ``backend`` block records the requested
+        and resolved backend plus the geometric-mean codec
+        ``speedup_vs_numpy`` over the grid's codec-bound (frsz2_*)
+        entries; any jit-vs-numpy bit divergence in a cell raises
+        before a document is produced.
     """
     if spmv_format not in SPMV_FORMATS:
         raise ValueError(
@@ -416,6 +534,11 @@ def run_bench(
     if basis_mode not in BASIS_MODES:
         raise ValueError(
             f"unknown basis_mode {basis_mode!r}; expected one of {BASIS_MODES}"
+        )
+    if backend not in _dispatch.BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; "
+            f"expected one of {_dispatch.BACKENDS}"
         )
     scale = resolve_scale(scale)
     matrices = list(matrices) if matrices else list(DEFAULT_BENCH_MATRICES)
@@ -431,12 +554,30 @@ def run_bench(
         [
             dict(matrix=matrix, storage=storage, scale=scale, m=m,
                  max_iter=max_iter, target_rrn=target_rrn, device=device,
-                 spmv_format=spmv_format, basis_mode=basis_mode)
+                 spmv_format=spmv_format, basis_mode=basis_mode,
+                 backend=backend)
             for matrix, storage in grid
         ],
         jobs=jobs,
         labels=[f"bench[{matrix}/{storage}]" for matrix, storage in grid],
     )
+    # grid-wide backend summary: every cell resolved identically (the
+    # same process/worker environment), so the first entry's resolution
+    # speaks for the grid; the geomean covers codec-bound entries only
+    speedups = [
+        e["backend"]["speedup_vs_numpy"]
+        for e in entries
+        if e["backend"]["speedup_vs_numpy"] is not None
+    ]
+    geomean = (
+        float(np.exp(np.mean(np.log(speedups)))) if speedups else None
+    )
+    backend_block = {
+        "requested": str(backend),
+        "resolved": entries[0]["backend"]["resolved"] if entries else str(backend),
+        "engine": entries[0]["backend"]["engine"] if entries else None,
+        "codec_speedup_geomean": geomean,
+    }
     return {
         "schema": BENCH_SCHEMA,
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -447,6 +588,7 @@ def run_bench(
         "max_iter": int(max_iter),
         "spmv_format": str(spmv_format),
         "basis_mode": str(basis_mode),
+        "backend": backend_block,
         "matrices": matrices,
         "storages": storages,
         "entries": entries,
@@ -493,6 +635,26 @@ def validate_bench(doc: dict) -> None:
     for key in ("restart", "max_iter"):
         _expect(isinstance(doc.get(key), int) and doc[key] > 0,
                 f"$.{key}", "expected a positive integer")
+    top_backend = doc.get("backend")
+    _expect(isinstance(top_backend, dict), "$.backend",
+            "expected a backend block (schema v5)")
+    _expect(
+        set(top_backend) == {"requested", "resolved", "engine",
+                             "codec_speedup_geomean"},
+        "$.backend",
+        f"unexpected backend block keys {sorted(top_backend)}",
+    )
+    for key in ("requested", "resolved"):
+        _expect(top_backend[key] in _dispatch.BACKENDS, f"$.backend.{key}",
+                f"expected one of {'/'.join(_dispatch.BACKENDS)}, "
+                f"got {top_backend[key]!r}")
+    _expect(
+        top_backend["engine"] is None or isinstance(top_backend["engine"], str),
+        "$.backend.engine", "expected a string or null",
+    )
+    if top_backend["codec_speedup_geomean"] is not None:
+        _expect_number(top_backend["codec_speedup_geomean"],
+                       "$.backend.codec_speedup_geomean")
     for key in ("matrices", "storages"):
         _expect(
             isinstance(doc.get(key), list) and doc[key]
@@ -521,6 +683,36 @@ def validate_bench(doc: dict) -> None:
             else:
                 _expect(isinstance(entry[key], str), f"{where}.{key}",
                         "expected a string")
+        eb = entry.get("backend")
+        _expect(isinstance(eb, dict), f"{where}.backend",
+                "expected a backend block (schema v5)")
+        _expect(
+            set(eb) == {"requested", "resolved", "engine",
+                        "bit_identical_numpy", "codec_wall_seconds",
+                        "numpy_codec_wall_seconds", "speedup_vs_numpy"},
+            f"{where}.backend",
+            f"unexpected backend block keys {sorted(eb)}",
+        )
+        for key in ("requested", "resolved"):
+            _expect(eb[key] in _dispatch.BACKENDS, f"{where}.backend.{key}",
+                    f"expected one of {'/'.join(_dispatch.BACKENDS)}, "
+                    f"got {eb[key]!r}")
+        _expect(eb["engine"] is None or isinstance(eb["engine"], str),
+                f"{where}.backend.engine", "expected a string or null")
+        _expect(isinstance(eb["bit_identical_numpy"], bool),
+                f"{where}.backend.bit_identical_numpy", "expected a boolean")
+        _expect(eb["bit_identical_numpy"] is True,
+                f"{where}.backend.bit_identical_numpy",
+                "a diverging backend must never be emitted")
+        codec_keys = ("codec_wall_seconds", "numpy_codec_wall_seconds",
+                      "speedup_vs_numpy")
+        if entry.get("storage", "").startswith("frsz2_"):
+            for key in codec_keys:
+                _expect_number(eb[key], f"{where}.backend.{key}")
+        else:
+            for key in codec_keys:
+                _expect(eb[key] is None, f"{where}.backend.{key}",
+                        "codec microbench applies to frsz2_* entries only")
         spmv = entry.get("spmv")
         _expect(isinstance(spmv, dict), f"{where}.spmv", "expected an object")
         _expect(

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..jit import dispatch as _dispatch
 from ..observe import Tracer
 from ..solvers.basis import BASIS_MODES
 from ..solvers.gmres import CbGmres
@@ -106,11 +107,12 @@ def _rhs_block(problem, batch: int) -> np.ndarray:
 
 
 def _solver(problem, storage, m, max_iter, spmv_format, basis_mode,
-            tracer=None) -> CbGmres:
+            tracer=None, backend=None) -> CbGmres:
     kwargs = {} if tracer is None else {"tracer": tracer}
     return CbGmres(
         problem.a, storage, m=m, max_iter=max_iter,
-        spmv_format=spmv_format, basis_mode=basis_mode, **kwargs,
+        spmv_format=spmv_format, basis_mode=basis_mode, backend=backend,
+        **kwargs,
     )
 
 
@@ -125,6 +127,7 @@ def run_throughput_entry(
     target_rrn: Optional[float] = None,
     spmv_format: str = "csr",
     basis_mode: str = "cached",
+    backend: "str | None" = None,
 ) -> dict:
     """Time one grid cell and return its ``entries[]`` element.
 
@@ -140,15 +143,23 @@ def run_throughput_entry(
         raise ValueError("batch must be >= 1")
     if rounds < 1:
         raise ValueError("rounds must be >= 1")
+    # resolve once per cell: the warm-up solve below then pays any jit
+    # engine compile before the first timed round
+    backend = _dispatch.resolve_backend(backend)
     problem = make_problem(matrix, scale, target_rrn=target_rrn)
     target = problem.target_rrn
     B = _rhs_block(problem, batch)
+
+    # untimed warm-up: compiles jit kernels and faults in cold caches
+    # so the first timed round is not skewed for either strategy
+    _solver(problem, storage, m, max_iter, spmv_format, basis_mode,
+            backend=backend).solve(B[:, 0], target, record_history=False)
 
     loop_wall = batch_wall = float("inf")
     loop_results = batch_result = None
     for _ in range(rounds):
         solver = _solver(problem, storage, m, max_iter,
-                         spmv_format, basis_mode)
+                         spmv_format, basis_mode, backend=backend)
         t0 = time.perf_counter()
         results = [
             solver.solve(B[:, c], target, record_history=False)
@@ -159,7 +170,7 @@ def run_throughput_entry(
             loop_wall, loop_results = elapsed, results
 
         solver = _solver(problem, storage, m, max_iter,
-                         spmv_format, basis_mode)
+                         spmv_format, basis_mode, backend=backend)
         t0 = time.perf_counter()
         result = solver.solve_batch(B, target, record_history=False)
         elapsed = time.perf_counter() - t0
@@ -182,9 +193,10 @@ def run_throughput_entry(
 
     # gate 2: a B == 1 batch is the plain solver, history included
     solo = _solver(problem, storage, m, max_iter,
-                   spmv_format, basis_mode).solve(B[:, 0], target)
+                   spmv_format, basis_mode, backend=backend).solve(B[:, 0], target)
     b1 = _solver(problem, storage, m, max_iter,
-                 spmv_format, basis_mode).solve_batch(B[:, :1], target)[0]
+                 spmv_format, basis_mode,
+                 backend=backend).solve_batch(B[:, :1], target)[0]
     if not (
         np.array_equal(solo.x, b1.x)
         and solo.iterations == b1.iterations
@@ -198,7 +210,7 @@ def run_throughput_entry(
     # one untimed traced batch for the batched-kernel counters
     tracer = Tracer()
     counted = _solver(problem, storage, m, max_iter,
-                      spmv_format, basis_mode, tracer=tracer)
+                      spmv_format, basis_mode, tracer=tracer, backend=backend)
     stats = counted.solve_batch(B, target, record_history=False)
 
     return {
@@ -234,6 +246,7 @@ def run_throughput(
     target_rrn: Optional[float] = None,
     spmv_format: str = "csr",
     basis_mode: str = "cached",
+    backend: "str | None" = None,
 ) -> dict:
     """Run the full grid and return the schema-versioned document.
 
@@ -254,6 +267,8 @@ def run_throughput(
         raise ValueError(
             f"unknown basis_mode {basis_mode!r}; expected one of {BASIS_MODES}"
         )
+    # resolved once so an unavailable-jit warning fires a single time
+    backend = _dispatch.resolve_backend(backend)
     scale = resolve_scale(scale)
     matrices = list(matrices) if matrices else list(DEFAULT_THROUGHPUT_MATRICES)
     storages = list(storages) if storages else list(DEFAULT_THROUGHPUT_STORAGES)
@@ -266,7 +281,7 @@ def run_throughput(
         run_throughput_entry(
             matrix, storage, scale=scale, m=m, max_iter=max_iter,
             batch=batch, rounds=rounds, target_rrn=target_rrn,
-            spmv_format=spmv_format, basis_mode=basis_mode,
+            spmv_format=spmv_format, basis_mode=basis_mode, backend=backend,
         )
         for matrix in matrices
         for storage in storages

@@ -30,6 +30,7 @@ import numpy as np
 
 from . import bitpack, ieee754
 from .blocks import DEFAULT_BLOCK_SIZE, BlockLayout
+from ..jit import dispatch as _dispatch
 from ..observe import NULL_TRACER
 
 __all__ = ["FRSZ2", "Frsz2Compressed"]
@@ -85,6 +86,160 @@ _BATCH_CHUNK_VALUES = 1 << 18
 _DECODE_CHUNK_VALUES = 1 << 14
 
 
+# ----------------------------------------------------------------------
+# numpy reference kernels (the `backend="numpy"` registry entries)
+# ----------------------------------------------------------------------
+
+# The bitpack primitives are kernels in their own right (the jit engine
+# replaces them); register the reference implementations here so both
+# backends resolve through the same registry.
+_dispatch.register_kernel("bitpack.pack_at", "numpy", bitpack.pack_at)
+_dispatch.register_kernel("bitpack.unpack_at", "numpy", bitpack.unpack_at)
+
+
+@_dispatch.register("frsz2.encode_fields", "numpy")
+def encode_fields_numpy(
+    x: np.ndarray, bit_length: int, block_size: int, rounding: bool
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Steps 1-5: per-value l-bit fields and per-block exponents."""
+    l = bit_length
+    bs = block_size
+    n = x.size
+    layout = BlockLayout(n, bs, l)
+    bits = ieee754.to_bits(x)
+    if np.any(ieee754.biased_exponent(bits) == ieee754.EXPONENT_MASK):
+        raise ValueError("FRSZ2 does not support NaN or Inf inputs")
+    sign = ieee754.sign_bit(bits)
+    e_eff = ieee754.effective_biased_exponent(bits)
+    sig53 = ieee754.significand53(bits)
+    # Zeros must not raise the block exponent: give them the minimum.
+    e_for_max = np.where(sig53 == 0, _U64(1), e_eff)
+
+    # Step 1: block-wise maximum exponent. Pad to a full block grid.
+    nb = layout.num_blocks
+    pad = nb * bs - n
+    if pad:
+        e_for_max = np.concatenate([e_for_max, np.ones(pad, dtype=np.uint64)])
+    e_max = e_for_max.reshape(nb, bs).max(axis=1)
+    e_max_per_value = np.repeat(e_max, bs)[:n]
+
+    # Steps 2-5: shift the 53-bit significand so its leading 1 lands at
+    # field bit (l-2-k); the sign occupies field bit (l-1).
+    k = e_max_per_value - e_eff
+    shift = np.int64(54 - l) + k.astype(np.int64)
+    if rounding:
+        # Round to nearest: add half of the last kept bit before the
+        # truncating down-shift.  The addend must be exactly 0 once
+        # the value truncates away entirely (shift > 54: sig53 has
+        # only 53 bits, so even the rounded result is 0).  The clip
+        # also keeps the shift itself in [0, 63]: np.where evaluates
+        # both branches, and a uint64 shift by >= 64 is undefined —
+        # on x86 it wraps to ``shift % 64``, which resurrected
+        # fully-truncated values as garbage significands.
+        half_bit = np.clip(shift - 1, 0, 63).astype(np.uint64)
+        rnd = np.where(
+            (shift > 0) & (shift <= 54),
+            _U64(1) << half_bit,
+            _U64(0),
+        )
+        base = sig53 + rnd
+    else:
+        base = sig53
+    pos_shift = np.minimum(np.maximum(shift, 0), 63).astype(np.uint64)
+    neg_shift = np.minimum(np.maximum(-shift, 0), 63).astype(np.uint64)
+    c_sig = (base >> pos_shift) << neg_shift
+    if rounding:
+        # A carry out of the significand field would corrupt the sign.
+        limit = (_U64(1) << np.uint64(l - 1)) - _U64(1)
+        c_sig = np.minimum(c_sig, limit)
+    fields = (sign << np.uint64(l - 1)) | c_sig
+    return fields, e_max.astype(np.int32)
+
+
+@_dispatch.register("frsz2.decode_fields", "numpy")
+def decode_fields_numpy(
+    fields: np.ndarray, e_max_per_value: np.ndarray, bit_length: int
+) -> np.ndarray:
+    """Steps 2-4: fields + block exponents -> float64 values.
+
+    Uses the bit-assembly route of the paper (count leading zeros,
+    recover ``e = e_max - k``, merge s/e/mantissa).  Values whose
+    reconstruction falls below the normal float64 range flush to
+    (signed) zero, exactly as the CUDA kernel does.
+    """
+    l = bit_length
+    sign = fields >> np.uint64(l - 1)
+    sig_mask = (_U64(1) << np.uint64(l - 1)) - _U64(1)
+    c_sig = fields & sig_mask
+    hsb = ieee754.highest_set_bit(c_sig)  # -1 for zero fields
+    k = np.int64(l - 2) - hsb
+    e = e_max_per_value.astype(np.int64) - k
+    nonzero = c_sig != 0
+    normal = nonzero & (e >= 1)
+    # Align the leading 1 to mantissa bit 52, then drop it.  For
+    # l > 54 the field holds more fraction bits than a double's
+    # mantissa; the excess is truncated (down-shift).
+    up = np.clip(52 - hsb, 0, 63).astype(np.uint64)
+    down = np.clip(hsb - 52, 0, 63).astype(np.uint64)
+    sig53 = np.where(normal, (c_sig >> down) << up, _U64(0))
+    mant = sig53 & ieee754.MANTISSA_MASK
+    e_field = np.where(normal, e, 0).astype(np.uint64)
+    return ieee754.assemble(sign, e_field, mant)
+
+
+def _stream_bit_positions(indices: np.ndarray, layout: BlockLayout) -> np.ndarray:
+    """Stream bit offsets of value fields (blocks are word-aligned)."""
+    bs = layout.block_size
+    block = indices // bs
+    within = indices - block * bs
+    return block * (layout.words_per_block * 32) + within * layout.bit_length
+
+
+def _read_fields_numpy(comp: "Frsz2Compressed", indices: np.ndarray) -> np.ndarray:
+    l = comp.layout.bit_length
+    if comp.layout.is_aligned:
+        return comp.payload[indices].astype(np.uint64)
+    bitpos = _stream_bit_positions(indices, comp.layout)
+    return bitpack.unpack_at(comp.payload, bitpos, l)
+
+
+@_dispatch.register("frsz2.pack_stream", "numpy")
+def pack_stream_numpy(fields: np.ndarray, layout: BlockLayout) -> np.ndarray:
+    """Straddling-path payload build (blocks word-aligned)."""
+    payload = np.zeros(layout.value_words, dtype=np.uint32)
+    bitpos = _stream_bit_positions(
+        np.arange(fields.size, dtype=np.int64), layout
+    )
+    bitpack.pack_at(payload, bitpos, fields, layout.bit_length)
+    return payload
+
+
+@_dispatch.register("frsz2.decode_stream", "numpy")
+def decode_stream_numpy(comp: "Frsz2Compressed", out: np.ndarray) -> np.ndarray:
+    """Full-container decode: the composition the jit engine fuses."""
+    n = comp.n
+    indices = np.arange(n, dtype=np.int64)
+    fields = _read_fields_numpy(comp, indices)
+    e_max = np.repeat(comp.exponents.astype(np.int64), comp.layout.block_size)[:n]
+    out[:] = decode_fields_numpy(fields, e_max, comp.layout.bit_length)
+    return out
+
+
+@_dispatch.register("frsz2.decode_gather", "numpy")
+def decode_gather_numpy(
+    comp: "Frsz2Compressed", indices: np.ndarray, out: "Optional[np.ndarray]" = None
+) -> np.ndarray:
+    """Positional decode: the composition the jit engine fuses."""
+    indices = np.asarray(indices, dtype=np.int64)
+    fields = _read_fields_numpy(comp, indices)
+    e_max = comp.exponents.astype(np.int64)[indices // comp.layout.block_size]
+    values = decode_fields_numpy(fields, e_max, comp.layout.bit_length)
+    if out is not None:
+        out[:] = values
+        return out
+    return values
+
+
 class FRSZ2:
     """The FRSZ2 fixed-rate compressor.
 
@@ -101,6 +256,11 @@ class FRSZ2:
         Step 5 cuts the significand to length ``l``.  The paper truncates;
         ``rounding=True`` selects round-to-nearest for the ablation bench
         (carries that would overflow into the sign bit are clamped).
+    backend:
+        Kernel backend, ``"numpy"`` (default) or ``"jit"``.  The jit
+        backend runs the compiled engine from :mod:`repro.jit` and is
+        bit-identical to numpy; when no engine is available it degrades
+        to numpy with a :class:`repro.jit.JitUnavailableWarning`.
     """
 
     def __init__(
@@ -108,6 +268,7 @@ class FRSZ2:
         bit_length: int = 32,
         block_size: int = DEFAULT_BLOCK_SIZE,
         rounding: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         if not 2 <= bit_length <= 64:
             raise ValueError("bit_length must be in [2, 64]")
@@ -116,6 +277,25 @@ class FRSZ2:
         self.bit_length = int(bit_length)
         self.block_size = int(block_size)
         self.rounding = bool(rounding)
+        self.backend = _dispatch.resolve_backend(backend)
+        self._encode_kernel = _dispatch.get_kernel(
+            "frsz2.encode_fields", self.backend
+        )
+        self._decode_kernel = _dispatch.get_kernel(
+            "frsz2.decode_fields", self.backend
+        )
+        self._pack_stream_kernel = _dispatch.get_kernel(
+            "frsz2.pack_stream", self.backend
+        )
+        # Container-level fused paths exist only on the jit engine; the
+        # numpy paths keep their existing composition (read fields,
+        # repeat exponents, decode) so the default hot path is unchanged.
+        if self.backend == "jit":
+            self._stream_kernel = _dispatch.get_kernel("frsz2.decode_stream", "jit")
+            self._gather_kernel = _dispatch.get_kernel("frsz2.decode_gather", "jit")
+        else:
+            self._stream_kernel = None
+            self._gather_kernel = None
         #: observe-layer tracer; the null tracer keeps the hot path free
         self.tracer = NULL_TRACER
 
@@ -127,59 +307,14 @@ class FRSZ2:
         return BlockLayout(n, self.block_size, self.bit_length)
 
     def _encode_fields(self, x: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
-        """Steps 1-5: per-value l-bit fields and per-block exponents."""
-        l = self.bit_length
-        bs = self.block_size
-        n = x.size
-        layout = self.layout_for(n)
-        bits = ieee754.to_bits(x)
-        if np.any(ieee754.biased_exponent(bits) == ieee754.EXPONENT_MASK):
-            raise ValueError("FRSZ2 does not support NaN or Inf inputs")
-        sign = ieee754.sign_bit(bits)
-        e_eff = ieee754.effective_biased_exponent(bits)
-        sig53 = ieee754.significand53(bits)
-        # Zeros must not raise the block exponent: give them the minimum.
-        e_for_max = np.where(sig53 == 0, _U64(1), e_eff)
+        """Steps 1-5: per-value l-bit fields and per-block exponents.
 
-        # Step 1: block-wise maximum exponent. Pad to a full block grid.
-        nb = layout.num_blocks
-        pad = nb * bs - n
-        if pad:
-            e_for_max = np.concatenate([e_for_max, np.ones(pad, dtype=np.uint64)])
-        e_max = e_for_max.reshape(nb, bs).max(axis=1)
-        e_max_per_value = np.repeat(e_max, bs)[:n]
-
-        # Steps 2-5: shift the 53-bit significand so its leading 1 lands at
-        # field bit (l-2-k); the sign occupies field bit (l-1).
-        k = e_max_per_value - e_eff
-        shift = np.int64(54 - l) + k.astype(np.int64)
-        if self.rounding:
-            # Round to nearest: add half of the last kept bit before the
-            # truncating down-shift.  The addend must be exactly 0 once
-            # the value truncates away entirely (shift > 54: sig53 has
-            # only 53 bits, so even the rounded result is 0).  The clip
-            # also keeps the shift itself in [0, 63]: np.where evaluates
-            # both branches, and a uint64 shift by >= 64 is undefined —
-            # on x86 it wraps to ``shift % 64``, which resurrected
-            # fully-truncated values as garbage significands.
-            half_bit = np.clip(shift - 1, 0, 63).astype(np.uint64)
-            rnd = np.where(
-                (shift > 0) & (shift <= 54),
-                _U64(1) << half_bit,
-                _U64(0),
-            )
-            base = sig53 + rnd
-        else:
-            base = sig53
-        pos_shift = np.minimum(np.maximum(shift, 0), 63).astype(np.uint64)
-        neg_shift = np.minimum(np.maximum(-shift, 0), 63).astype(np.uint64)
-        c_sig = (base >> pos_shift) << neg_shift
-        if self.rounding:
-            # A carry out of the significand field would corrupt the sign.
-            limit = (_U64(1) << np.uint64(l - 1)) - _U64(1)
-            c_sig = np.minimum(c_sig, limit)
-        fields = (sign << np.uint64(l - 1)) | c_sig
-        return fields, e_max.astype(np.int32)
+        Dispatches to the backend's ``frsz2.encode_fields`` kernel
+        (:func:`encode_fields_numpy` is the reference).
+        """
+        return self._encode_kernel(
+            x, self.bit_length, self.block_size, self.rounding
+        )
 
     def compress(self, x: np.ndarray) -> Frsz2Compressed:
         """Compress a 1-D float64 array into an :class:`Frsz2Compressed`.
@@ -231,10 +366,7 @@ class FRSZ2:
             payload = np.zeros(full, dtype=_ALIGNED_DTYPES[l])
             payload[: fields.size] = fields
             return payload
-        payload = np.zeros(layout.value_words, dtype=np.uint32)
-        bitpos = self._bit_positions(np.arange(fields.size, dtype=np.int64), layout)
-        bitpack.pack_at(payload, bitpos, fields, l)
-        return payload
+        return self._pack_stream_kernel(fields, layout)
 
     def compress_batch(self, xs: Sequence[np.ndarray]) -> "List[Frsz2Compressed]":
         """Compress several same-length vectors in one vectorized pass.
@@ -322,17 +454,10 @@ class FRSZ2:
     @staticmethod
     def _bit_positions(indices: np.ndarray, layout: BlockLayout) -> np.ndarray:
         """Stream bit offsets of value fields (blocks are word-aligned)."""
-        bs = layout.block_size
-        block = indices // bs
-        within = indices - block * bs
-        return block * (layout.words_per_block * 32) + within * layout.bit_length
+        return _stream_bit_positions(indices, layout)
 
     def _read_fields(self, comp: Frsz2Compressed, indices: np.ndarray) -> np.ndarray:
-        l = self.bit_length
-        if comp.layout.is_aligned:
-            return comp.payload[indices].astype(np.uint64)
-        bitpos = self._bit_positions(indices, comp.layout)
-        return bitpack.unpack_at(comp.payload, bitpos, l)
+        return _read_fields_numpy(comp, indices)
 
     def _decode_containers(
         self,
@@ -354,6 +479,14 @@ class FRSZ2:
         Returns the concatenated values, ``m`` per container.
         """
         m = int(flat.size)
+        if self._gather_kernel is not None:
+            # The compiled gather has no elementwise temporaries, so no
+            # chunking is needed: decode each container straight into
+            # its contiguous output slice.
+            values = np.empty(len(comps) * m)
+            for i, c in enumerate(comps):
+                self._gather_kernel(c, flat, out=values[i * m:(i + 1) * m])
+            return values
         chunk = _DECODE_CHUNK_VALUES
         if m * len(comps) <= chunk:
             # small enough that one fused pass stays cache-resident
@@ -395,29 +528,10 @@ class FRSZ2:
     ) -> np.ndarray:
         """Steps 2-4: fields + block exponents -> float64 values.
 
-        Uses the bit-assembly route of the paper (count leading zeros,
-        recover ``e = e_max - k``, merge s/e/mantissa).  Values whose
-        reconstruction falls below the normal float64 range flush to
-        (signed) zero, exactly as the CUDA kernel does.
+        Dispatches to the backend's ``frsz2.decode_fields`` kernel
+        (:func:`decode_fields_numpy` is the reference).
         """
-        l = self.bit_length
-        sign = fields >> np.uint64(l - 1)
-        sig_mask = (_U64(1) << np.uint64(l - 1)) - _U64(1)
-        c_sig = fields & sig_mask
-        hsb = ieee754.highest_set_bit(c_sig)  # -1 for zero fields
-        k = np.int64(l - 2) - hsb
-        e = e_max_per_value.astype(np.int64) - k
-        nonzero = c_sig != 0
-        normal = nonzero & (e >= 1)
-        # Align the leading 1 to mantissa bit 52, then drop it.  For
-        # l > 54 the field holds more fraction bits than a double's
-        # mantissa; the excess is truncated (down-shift).
-        up = np.clip(52 - hsb, 0, 63).astype(np.uint64)
-        down = np.clip(hsb - 52, 0, 63).astype(np.uint64)
-        sig53 = np.where(normal, (c_sig >> down) << up, _U64(0))
-        mant = sig53 & ieee754.MANTISSA_MASK
-        e_field = np.where(normal, e, 0).astype(np.uint64)
-        return ieee754.assemble(sign, e_field, mant)
+        return self._decode_kernel(fields, e_max_per_value, self.bit_length)
 
     def decompress(self, comp: Frsz2Compressed, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Decompress the full array.
@@ -437,21 +551,30 @@ class FRSZ2:
             fixed-point grid, sub-grid values flushed to signed zero).
         """
         n = comp.n
-        indices = np.arange(n, dtype=np.int64)
-        fields = self._read_fields(comp, indices)
-        e_max = np.repeat(
-            comp.exponents.astype(np.int64), comp.layout.block_size
-        )[:n]
-        values = self._decode_fields(fields, e_max)
+        if out is not None and (out.shape != (n,) or out.dtype != np.float64):
+            raise ValueError("out must be a float64 array of matching size")
+        if self._stream_kernel is not None:
+            values = (
+                out
+                if out is not None and out.flags.c_contiguous
+                else np.empty(n)
+            )
+            self._stream_kernel(comp, values)
+        else:
+            indices = np.arange(n, dtype=np.int64)
+            fields = self._read_fields(comp, indices)
+            e_max = np.repeat(
+                comp.exponents.astype(np.int64), comp.layout.block_size
+            )[:n]
+            values = self._decode_fields(fields, e_max)
         if self.tracer.enabled:
             self.tracer.count("frsz2.decompress.calls")
             self.tracer.count("frsz2.decompress.values", n)
             self.tracer.count("frsz2.decompress.bytes", comp.layout.total_nbytes)
             self.tracer.count("frsz2.decompress.blocks", comp.layout.num_blocks)
         if out is not None:
-            if out.shape != (n,) or out.dtype != np.float64:
-                raise ValueError("out must be a float64 array of matching size")
-            out[:] = values
+            if values is not out:
+                out[:] = values
             return out
         return values
 
@@ -465,9 +588,12 @@ class FRSZ2:
         idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
         if idx.size and (idx.min() < 0 or idx.max() >= comp.n):
             raise IndexError("index out of range")
-        fields = self._read_fields(comp, idx)
-        e_max = comp.exponents.astype(np.int64)[idx // comp.layout.block_size]
-        values = self._decode_fields(fields, e_max)
+        if self._gather_kernel is not None:
+            values = self._gather_kernel(comp, idx)
+        else:
+            fields = self._read_fields(comp, idx)
+            e_max = comp.exponents.astype(np.int64)[idx // comp.layout.block_size]
+            values = self._decode_fields(fields, e_max)
         if self.tracer.enabled:
             layout = comp.layout
             blocks_touched = int(np.unique(idx // layout.block_size).size)
@@ -522,9 +648,12 @@ class FRSZ2:
         grid = idx[:, None] * bs + np.arange(bs, dtype=np.int64)[None, :]
         valid = grid < comp.n
         flat = grid.ravel()[valid.ravel()]
-        fields = self._read_fields(comp, flat)
-        e_max = comp.exponents.astype(np.int64)[flat // bs]
-        values = self._decode_fields(fields, e_max)
+        if self._gather_kernel is not None:
+            values = self._gather_kernel(comp, flat)
+        else:
+            fields = self._read_fields(comp, flat)
+            e_max = comp.exponents.astype(np.int64)[flat // bs]
+            values = self._decode_fields(fields, e_max)
         counts = valid.sum(axis=1)
         offsets = np.concatenate([[0], np.cumsum(counts)])
         out = [values[offsets[i]:offsets[i + 1]] for i in range(idx.size)]

@@ -211,3 +211,12 @@ def axpy_batch(
             W[t0:t1, col] -= yjs[i] @ scratch[i * j:(i + 1) * j, :tl]
     _count_batch(tracer, logs, "axpy", j, len(grid), reader.n, C)
     return W
+
+
+# Backend-shared registration, mirroring repro.fused.kernels: the
+# batched tile kernels are the numpy entries here and the identical
+# callables under "jit" (see repro.jit.dispatch._ensure_jit_kernels).
+from ..jit import dispatch as _dispatch  # noqa: E402
+
+_dispatch.register_kernel("fused.dot_basis_batch", "numpy", dot_basis_batch)
+_dispatch.register_kernel("fused.axpy_batch", "numpy", axpy_batch)

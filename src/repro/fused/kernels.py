@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..jit import dispatch as _dispatch
 from ..observe import NULL_TRACER
 
 __all__ = [
@@ -289,3 +290,21 @@ def norm_fused(
         total += float(seg @ seg)
     _count_call(tracer, log, "norm", 1, len(grid), n)
     return float(np.sqrt(total))
+
+
+# The fused tile kernels are registered for the numpy backend here; the
+# jit backend registers the *same* callables (see
+# ``repro.jit.dispatch._ensure_jit_kernels``).  The per-tile BLAS ``@``
+# reduction is the determinism contract itself — its internal blocking
+# cannot be replayed in scalar compiled code — so ``backend="jit"``
+# keeps these kernels and gains its speedup from the engine's compiled
+# FRSZ2 decode feeding the tiles (:class:`StreamingTileReader` /
+# ``read_frsz2_tiles``), whose outputs are byte-equal to numpy's.
+for _name, _fn in (
+    ("fused.dot_basis", dot_basis_fused),
+    ("fused.combine", combine_fused),
+    ("fused.axpy", axpy_fused),
+    ("fused.norm", norm_fused),
+):
+    _dispatch.register_kernel(_name, "numpy", _fn)
+del _name, _fn

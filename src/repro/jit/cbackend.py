@@ -1,0 +1,636 @@
+"""Runtime-compiled C kernel engine (cffi + the system C compiler).
+
+This is the fallback JIT engine behind :mod:`repro.jit.nbackend`: the
+same scalar kernels, written once in C, compiled to a shared library on
+first use and loaded through cffi's ABI mode.  "JIT" is meant literally
+— the library is built at runtime from the source below, cached by
+content hash, so upgrading the kernels invalidates the cache
+automatically.
+
+Bit-identity contract
+---------------------
+Every kernel replays the numpy reference *operation for operation*:
+
+* the FRSZ2 encode/decode are pure integer bit manipulation — identical
+  by construction;
+* the SpMV kernels accumulate each row strictly sequentially in entry
+  order, exactly like ``np.bincount`` (CSR) and the slot-wise ELL/SELL
+  passes;
+* the build forces ``-ffp-contract=off`` so the compiler cannot fuse a
+  multiply-add into an FMA, which would change the rounding of every
+  accumulation against the reference.
+
+The engine is only accepted by :func:`repro.jit.dispatch.load_engine`
+after :mod:`repro.jit.selftest` verifies byte-equality on every kernel
+family.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+
+import numpy as np
+
+__all__ = ["CEngine", "C_SOURCE"]
+
+C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+#define MANTISSA_MASK 0xFFFFFFFFFFFFFULL
+#define IMPLICIT_BIT  (1ULL << 52)
+
+static uint64_t d2u(double x) { uint64_t u; memcpy(&u, &x, 8); return u; }
+static double u2d(uint64_t u) { double x; memcpy(&x, &u, 8); return x; }
+
+/* OR one <=32-bit chunk into a little-endian uint32 word stream.  A
+ * chunk shifted past its first word spills into the next one; bits
+ * beyond the stream are provably zero for in-bounds fields, so the
+ * spill store is skipped exactly when numpy's scatter skips it. */
+static void put_chunk(uint32_t *words, int64_t bitpos, uint64_t chunk,
+                      int64_t nbits)
+{
+    if (nbits <= 0)
+        return;
+    uint64_t mask = (1ULL << nbits) - 1ULL;
+    uint64_t v = (chunk & mask) << (bitpos & 31);
+    int64_t wi = bitpos >> 5;
+    words[wi] |= (uint32_t)(v & 0xFFFFFFFFULL);
+    uint32_t hi = (uint32_t)(v >> 32);
+    if (hi)
+        words[wi + 1] |= hi;
+}
+
+/* Read one <=32-bit chunk; the straddle read of the following word is
+ * clamped to the stream like the numpy gather (the shifted-in bits are
+ * masked off either way). */
+static uint64_t get_chunk(const uint32_t *words, int64_t nwords,
+                          int64_t bitpos, int64_t nbits)
+{
+    int64_t wi = bitpos >> 5;
+    int64_t off = bitpos & 31;
+    int64_t nxt = wi + 1;
+    if (nxt > nwords - 1)
+        nxt = nwords - 1;
+    uint64_t lo = words[wi];
+    uint64_t hi = words[nxt];
+    uint64_t combined = (lo >> off) | (off == 0 ? 0ULL : hi << (32 - off));
+    uint64_t mask = nbits >= 64 ? ~0ULL : (1ULL << nbits) - 1ULL;
+    return combined & mask;
+}
+
+void bitpack_pack_at(uint32_t *words, const int64_t *bitpos,
+                     const uint64_t *fields, const int64_t *widths,
+                     int64_t n)
+{
+    for (int64_t i = 0; i < n; i++) {
+        int64_t w = widths[i];
+        uint64_t mask = w >= 64 ? ~0ULL : (1ULL << w) - 1ULL;
+        uint64_t val = fields[i] & mask;
+        int64_t lo_bits = w < 32 ? w : 32;
+        put_chunk(words, bitpos[i], val, lo_bits);
+        if (w > 32)
+            put_chunk(words, bitpos[i] + 32, val >> 32, w - 32);
+    }
+}
+
+void bitpack_unpack_at(const uint32_t *words, int64_t nwords,
+                       const int64_t *bitpos, const int64_t *widths,
+                       int64_t n, uint64_t *out)
+{
+    for (int64_t i = 0; i < n; i++) {
+        int64_t w = widths[i];
+        int64_t lo_bits = w < 32 ? w : 32;
+        uint64_t val = get_chunk(words, nwords, bitpos[i], lo_bits);
+        if (w > 32)
+            val |= get_chunk(words, nwords, bitpos[i] + 32, w - 32) << 32;
+        out[i] = val;
+    }
+}
+
+/* FRSZ2 compression steps 1-5 (paper Section IV-A).  Returns 0 on
+ * success, i+1 when x[i] is NaN/Inf. */
+int64_t frsz2_encode(const double *x, int64_t n, int64_t bs, int64_t l,
+                     int32_t rounding, uint64_t *fields, int32_t *e_max_out)
+{
+    int64_t nb = (n + bs - 1) / bs;
+    for (int64_t b = 0; b < nb; b++) {
+        int64_t i0 = b * bs;
+        int64_t i1 = i0 + bs < n ? i0 + bs : n;
+        uint64_t e_max = 1;
+        for (int64_t i = i0; i < i1; i++) {
+            uint64_t bits = d2u(x[i]);
+            uint64_t be = (bits >> 52) & 0x7FF;
+            if (be == 0x7FF)
+                return i + 1;
+            uint64_t e_eff = be ? be : 1;
+            if (e_eff > e_max)
+                e_max = e_eff;
+        }
+        e_max_out[b] = (int32_t)e_max;
+        for (int64_t i = i0; i < i1; i++) {
+            uint64_t bits = d2u(x[i]);
+            uint64_t be = (bits >> 52) & 0x7FF;
+            uint64_t sign = bits >> 63;
+            uint64_t e_eff = be ? be : 1;
+            uint64_t sig53 = (bits & MANTISSA_MASK) | (be ? IMPLICIT_BIT : 0);
+            int64_t k = (int64_t)(e_max - e_eff);
+            int64_t shift = 54 - l + k;
+            uint64_t base = sig53;
+            if (rounding) {
+                int64_t half_bit = shift - 1;
+                if (half_bit < 0) half_bit = 0;
+                if (half_bit > 63) half_bit = 63;
+                if (shift > 0 && shift <= 54)
+                    base = sig53 + (1ULL << half_bit);
+            }
+            int64_t pos = shift < 0 ? 0 : (shift > 63 ? 63 : shift);
+            int64_t neg = -shift < 0 ? 0 : (-shift > 63 ? 63 : -shift);
+            uint64_t c_sig = (base >> pos) << neg;
+            if (rounding) {
+                uint64_t limit = (1ULL << (l - 1)) - 1ULL;
+                if (c_sig > limit)
+                    c_sig = limit;
+            }
+            fields[i] = (sign << (l - 1)) | c_sig;
+        }
+    }
+    return 0;
+}
+
+/* FRSZ2 decompression steps 2-4 for one already-read field. */
+static double decode_field(uint64_t f, int64_t e_max, int64_t l)
+{
+    uint64_t sig_mask = (1ULL << (l - 1)) - 1ULL;
+    uint64_t sign = f >> (l - 1);
+    uint64_t c_sig = f & sig_mask;
+    uint64_t bits = sign << 63;
+    if (c_sig != 0) {
+        int64_t hsb = 63 - __builtin_clzll(c_sig);
+        int64_t e = e_max - (l - 2 - hsb);
+        if (e >= 1) {
+            int64_t up = 52 - hsb < 0 ? 0 : 52 - hsb;
+            int64_t down = hsb - 52 < 0 ? 0 : hsb - 52;
+            uint64_t sig53 = (c_sig >> down) << up;
+            bits |= ((uint64_t)e & 0x7FF) << 52;
+            bits |= sig53 & MANTISSA_MASK;
+        }
+    }
+    return u2d(bits);
+}
+
+void frsz2_decode_fields(const uint64_t *fields, const int64_t *e_max,
+                         int64_t n, int64_t l, double *out)
+{
+    for (int64_t i = 0; i < n; i++)
+        out[i] = decode_field(fields[i], e_max[i], l);
+}
+
+/* Pack n l-bit fields into word-aligned blocks (straddling path). */
+void frsz2_pack_stream(const uint64_t *fields, int64_t n, int64_t bs,
+                       int64_t l, int64_t wpb, uint32_t *words)
+{
+    for (int64_t i = 0; i < n; i++) {
+        int64_t block = i / bs;
+        int64_t bitpos = block * wpb * 32 + (i - block * bs) * l;
+        int64_t lo_bits = l < 32 ? l : 32;
+        put_chunk(words, bitpos, fields[i], lo_bits);
+        if (l > 32)
+            put_chunk(words, bitpos + 32, fields[i] >> 32, l - 32);
+    }
+}
+
+/* Payload "kind": 0/1/2/3 = aligned uint8/16/32/64 slots, 4 = packed
+ * uint32 word stream with word-aligned blocks. */
+static uint64_t read_slot(const uint8_t *payload, int32_t kind,
+                          int64_t nwords, int64_t i, int64_t bs, int64_t l,
+                          int64_t wpb)
+{
+    switch (kind) {
+    case 0: return payload[i];
+    case 1: return ((const uint16_t *)payload)[i];
+    case 2: return ((const uint32_t *)payload)[i];
+    case 3: return ((const uint64_t *)payload)[i];
+    default: {
+        const uint32_t *words = (const uint32_t *)payload;
+        int64_t block = i / bs;
+        int64_t bitpos = block * wpb * 32 + (i - block * bs) * l;
+        int64_t lo_bits = l < 32 ? l : 32;
+        uint64_t val = get_chunk(words, nwords, bitpos, lo_bits);
+        if (l > 32)
+            val |= get_chunk(words, nwords, bitpos + 32, l - 32) << 32;
+        return val;
+    }
+    }
+}
+
+/* Decode values [0, n) of one container in a single pass. */
+void frsz2_decode_stream(const uint8_t *payload, int32_t kind,
+                         int64_t nwords, const int32_t *exponents,
+                         int64_t n, int64_t bs, int64_t l, int64_t wpb,
+                         double *out)
+{
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t f = read_slot(payload, kind, nwords, i, bs, l, wpb);
+        out[i] = decode_field(f, exponents[i / bs], l);
+    }
+}
+
+/* Decode arbitrary value positions of one container. */
+void frsz2_decode_gather(const uint8_t *payload, int32_t kind,
+                         int64_t nwords, const int32_t *exponents,
+                         const int64_t *idx, int64_t m, int64_t bs,
+                         int64_t l, int64_t wpb, double *out)
+{
+    for (int64_t i = 0; i < m; i++) {
+        int64_t j = idx[i];
+        uint64_t f = read_slot(payload, kind, nwords, j, bs, l, wpb);
+        out[i] = decode_field(f, exponents[j / bs], l);
+    }
+}
+
+/* y = A @ x, CSR with an expanded per-entry row array: entries
+ * accumulate in stored order, exactly like np.bincount. */
+void csr_matvec(const int64_t *rows, const int64_t *cols,
+                const double *data, int64_t nnz, const double *x,
+                double *y, int64_t m)
+{
+    for (int64_t r = 0; r < m; r++)
+        y[r] = 0.0;
+    for (int64_t i = 0; i < nnz; i++)
+        y[rows[i]] += data[i] * x[cols[i]];
+}
+
+/* y = A @ x, ELL transposed (width, m) layout: per-row accumulation in
+ * slot order, matching the numpy slot-wise/reduce kernels. */
+void ell_matvec(const int64_t *cols_t, const double *vals_t, int64_t width,
+                int64_t m, const double *x, double *y)
+{
+    if (width == 0) {
+        for (int64_t r = 0; r < m; r++)
+            y[r] = 0.0;
+        return;
+    }
+    for (int64_t r = 0; r < m; r++)
+        y[r] = vals_t[r] * x[cols_t[r]];
+    for (int64_t s = 1; s < width; s++) {
+        const int64_t *c = cols_t + s * m;
+        const double *v = vals_t + s * m;
+        for (int64_t r = 0; r < m; r++)
+            y[r] += v[r] * x[c[r]];
+    }
+}
+
+/* One SELL-C-sigma width group: y[rows[r]] = the row's slot-ordered
+ * sum (the caller zeroes y for rows no group covers). */
+void sell_group_matvec(const int64_t *rows, const int64_t *cols_t,
+                       const double *vals_t, int64_t width, int64_t g,
+                       const double *x, double *y)
+{
+    for (int64_t r = 0; r < g; r++) {
+        double acc = vals_t[r] * x[cols_t[r]];
+        for (int64_t s = 1; s < width; s++)
+            acc += vals_t[s * g + r] * x[cols_t[s * g + r]];
+        y[rows[r]] = acc;
+    }
+}
+"""
+
+_CDEF = """
+void bitpack_pack_at(uint32_t *words, const int64_t *bitpos,
+                     const uint64_t *fields, const int64_t *widths,
+                     int64_t n);
+void bitpack_unpack_at(const uint32_t *words, int64_t nwords,
+                       const int64_t *bitpos, const int64_t *widths,
+                       int64_t n, uint64_t *out);
+int64_t frsz2_encode(const double *x, int64_t n, int64_t bs, int64_t l,
+                     int32_t rounding, uint64_t *fields, int32_t *e_max_out);
+void frsz2_decode_fields(const uint64_t *fields, const int64_t *e_max,
+                         int64_t n, int64_t l, double *out);
+void frsz2_pack_stream(const uint64_t *fields, int64_t n, int64_t bs,
+                       int64_t l, int64_t wpb, uint32_t *words);
+void frsz2_decode_stream(const uint8_t *payload, int32_t kind,
+                         int64_t nwords, const int32_t *exponents,
+                         int64_t n, int64_t bs, int64_t l, int64_t wpb,
+                         double *out);
+void frsz2_decode_gather(const uint8_t *payload, int32_t kind,
+                         int64_t nwords, const int32_t *exponents,
+                         const int64_t *idx, int64_t m, int64_t bs,
+                         int64_t l, int64_t wpb, double *out);
+void csr_matvec(const int64_t *rows, const int64_t *cols,
+                const double *data, int64_t nnz, const double *x,
+                double *y, int64_t m);
+void ell_matvec(const int64_t *cols_t, const double *vals_t, int64_t width,
+                int64_t m, const double *x, double *y);
+void sell_group_matvec(const int64_t *rows, const int64_t *cols_t,
+                       const double *vals_t, int64_t width, int64_t g,
+                       const double *x, double *y);
+"""
+
+#: flags that pin IEEE semantics: no FMA contraction, no fast-math —
+#: an FMA would change the rounding of every accumulation vs numpy
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math"]
+
+#: payload-kind codes shared with the C source
+_ALIGNED_KINDS = {8: 0, 16: 1, 32: 2, 64: 3}
+_PACKED_KIND = 4
+
+
+def _cache_dir() -> str:
+    explicit = os.environ.get("REPRO_JIT_CACHE")
+    if explicit:
+        return explicit
+    return os.path.join(tempfile.gettempdir(), f"repro-jit-{os.getuid()}")
+
+
+def _compiler() -> str:
+    for candidate in (os.environ.get("CC"), sysconfig.get_config_var("CC")):
+        if candidate:
+            return candidate.split()[0]
+    return "cc"
+
+
+def _build_library() -> str:
+    """Compile (once, content-hashed) and return the shared-library path."""
+    key = hashlib.sha256(
+        "\x00".join([C_SOURCE, _CDEF, " ".join(_CFLAGS), sys.platform]).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, f"repro_jit_{key}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    os.makedirs(cache, exist_ok=True)
+    fd, src_path = tempfile.mkstemp(suffix=".c", dir=cache)
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(C_SOURCE)
+        tmp_lib = src_path + ".so"
+        subprocess.run(
+            [_compiler(), *_CFLAGS, src_path, "-o", tmp_lib],
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        # atomic publish: concurrent builders race benignly
+        os.replace(tmp_lib, lib_path)
+    finally:
+        for leftover in (src_path, src_path + ".so"):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+    return lib_path
+
+
+class CEngine:
+    """cffi/ABI-mode wrapper over the runtime-compiled C kernels.
+
+    All methods take/return numpy arrays; inputs are made contiguous
+    with the exact dtype the C side expects (an exact-value conversion,
+    so results stay byte-equal to the reference).
+    """
+
+    name = "cffi"
+
+    def __init__(self) -> None:
+        import cffi
+
+        self._ffi = cffi.FFI()
+        self._ffi.cdef(_CDEF)
+        self._lib = self._ffi.dlopen(_build_library())
+
+    # -- pointer plumbing ---------------------------------------------
+
+    def _ptr(self, arr: np.ndarray, ctype: str):
+        return self._ffi.cast(ctype, arr.ctypes.data)
+
+    @staticmethod
+    def _c(arr, dtype) -> np.ndarray:
+        return np.ascontiguousarray(arr, dtype=dtype)
+
+    # -- bitpack ------------------------------------------------------
+
+    def pack_at(self, words, bitpos, fields, widths) -> None:
+        """In-place OR of width-bit fields; mirrors ``bitpack.pack_at``."""
+        from ..core import bitpack
+
+        if words.dtype != np.uint32:
+            raise TypeError("words must be uint32")
+        bitpos = np.asarray(bitpos, dtype=np.int64)
+        fields = np.asarray(fields, dtype=np.uint64)
+        widths = np.broadcast_to(np.asarray(widths, dtype=np.int64), fields.shape)
+        if bitpos.shape != fields.shape:
+            raise ValueError("bitpos and fields must have the same shape")
+        if fields.size == 0:
+            return
+        if np.any(widths < 1) or np.any(widths > 64):
+            raise ValueError("widths must be in [1, 64]")
+        if np.any(fields & ~bitpack._field_mask(widths)):
+            raise ValueError("field value exceeds its declared width")
+        bitpack._check_bounds(bitpos, widths, words.size)
+        if not words.flags.c_contiguous:
+            # the C kernel mutates the buffer in place; fall back rather
+            # than write into a copy of a strided view
+            bitpack.pack_at(words, bitpos, fields, widths)
+            return
+        self._lib.bitpack_pack_at(
+            self._ptr(words, "uint32_t *"),
+            self._ptr(self._c(bitpos, np.int64), "int64_t *"),
+            self._ptr(self._c(fields, np.uint64), "uint64_t *"),
+            self._ptr(self._c(widths, np.int64), "int64_t *"),
+            fields.size,
+        )
+
+    def unpack_at(self, words, bitpos, widths) -> np.ndarray:
+        """Read width-bit fields; mirrors ``bitpack.unpack_at``."""
+        from ..core import bitpack
+
+        if words.dtype != np.uint32:
+            raise TypeError("words must be uint32")
+        bitpos = np.asarray(bitpos, dtype=np.int64)
+        widths = np.broadcast_to(np.asarray(widths, dtype=np.int64), bitpos.shape)
+        if bitpos.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        if np.any(widths < 1) or np.any(widths > 64):
+            raise ValueError("widths must be in [1, 64]")
+        bitpack._check_bounds(bitpos, widths, words.size)
+        words = self._c(words, np.uint32)
+        out = np.empty(bitpos.shape, dtype=np.uint64)
+        self._lib.bitpack_unpack_at(
+            self._ptr(words, "uint32_t *"),
+            words.size,
+            self._ptr(self._c(bitpos, np.int64), "int64_t *"),
+            self._ptr(self._c(widths, np.int64), "int64_t *"),
+            bitpos.size,
+            self._ptr(out, "uint64_t *"),
+        )
+        return out
+
+    # -- FRSZ2 codec --------------------------------------------------
+
+    def encode_fields(self, x, bit_length, block_size, rounding):
+        """Steps 1-5; byte-equal to the reference ``encode_fields``."""
+        x = self._c(x, np.float64)
+        n = x.size
+        nb = -(-n // block_size)
+        fields = np.empty(n, dtype=np.uint64)
+        e_max = np.empty(nb, dtype=np.int32)
+        if n:
+            rc = self._lib.frsz2_encode(
+                self._ptr(x, "double *"),
+                n,
+                block_size,
+                bit_length,
+                int(bool(rounding)),
+                self._ptr(fields, "uint64_t *"),
+                self._ptr(e_max, "int32_t *"),
+            )
+            if rc:
+                raise ValueError("FRSZ2 does not support NaN or Inf inputs")
+        return fields, e_max
+
+    def decode_fields(self, fields, e_max_per_value, bit_length) -> np.ndarray:
+        """Steps 2-4; byte-equal to the reference ``decode_fields``."""
+        fields = self._c(fields, np.uint64)
+        e_max = self._c(e_max_per_value, np.int64)
+        out = np.empty(fields.size, dtype=np.float64)
+        if fields.size:
+            self._lib.frsz2_decode_fields(
+                self._ptr(fields, "uint64_t *"),
+                self._ptr(e_max, "int64_t *"),
+                fields.size,
+                bit_length,
+                self._ptr(out, "double *"),
+            )
+        return out
+
+    def pack_stream(self, fields, layout) -> np.ndarray:
+        """Straddling-path payload build (blocks word-aligned)."""
+        fields = self._c(fields, np.uint64)
+        words = np.zeros(layout.value_words, dtype=np.uint32)
+        if fields.size:
+            self._lib.frsz2_pack_stream(
+                self._ptr(fields, "uint64_t *"),
+                fields.size,
+                layout.block_size,
+                layout.bit_length,
+                layout.words_per_block,
+                self._ptr(words, "uint32_t *"),
+            )
+        return words
+
+    @staticmethod
+    def _payload_kind(layout) -> int:
+        if layout.is_aligned:
+            return _ALIGNED_KINDS[layout.bit_length]
+        return _PACKED_KIND
+
+    def decode_stream(self, comp, out) -> np.ndarray:
+        """Full-container decode straight from the stored payload."""
+        layout = comp.layout
+        payload = comp.payload
+        exponents = self._c(comp.exponents, np.int32)
+        if comp.n:
+            self._lib.frsz2_decode_stream(
+                self._ptr(payload, "uint8_t *"),
+                self._payload_kind(layout),
+                0 if layout.is_aligned else payload.size,
+                self._ptr(exponents, "int32_t *"),
+                comp.n,
+                layout.block_size,
+                layout.bit_length,
+                layout.words_per_block,
+                self._ptr(out, "double *"),
+            )
+        return out
+
+    def decode_gather(self, comp, indices, out=None) -> np.ndarray:
+        """Decode arbitrary positions straight from the stored payload."""
+        layout = comp.layout
+        payload = comp.payload
+        indices = self._c(indices, np.int64)
+        exponents = self._c(comp.exponents, np.int32)
+        if out is None:
+            out = np.empty(indices.size, dtype=np.float64)
+        if indices.size:
+            self._lib.frsz2_decode_gather(
+                self._ptr(payload, "uint8_t *"),
+                self._payload_kind(layout),
+                0 if layout.is_aligned else payload.size,
+                self._ptr(exponents, "int32_t *"),
+                self._ptr(indices, "int64_t *"),
+                indices.size,
+                layout.block_size,
+                layout.bit_length,
+                layout.words_per_block,
+                self._ptr(out, "double *"),
+            )
+        return out
+
+    # -- SpMV ---------------------------------------------------------
+
+    def csr_matvec(self, rows, cols, data, x, m) -> np.ndarray:
+        """Entry-ordered CSR accumulation (``np.bincount`` order)."""
+        x = self._c(x, np.float64)
+        y = np.empty(m, dtype=np.float64)
+        self._lib.csr_matvec(
+            self._ptr(rows, "int64_t *"),
+            self._ptr(cols, "int64_t *"),
+            self._ptr(data, "double *"),
+            data.size,
+            self._ptr(x, "double *"),
+            self._ptr(y, "double *"),
+            m,
+        )
+        return y
+
+    def ell_matvec(self, cols_t, vals_t, x, work, out) -> np.ndarray:
+        """Slot-ordered ELL accumulation (matches both numpy kernels)."""
+        x = self._c(x, np.float64)
+        width, m = cols_t.shape
+        y = out if out is not None and out.flags.c_contiguous else np.empty(m)
+        self._lib.ell_matvec(
+            self._ptr(cols_t, "int64_t *"),
+            self._ptr(vals_t, "double *"),
+            width,
+            m,
+            self._ptr(x, "double *"),
+            self._ptr(y, "double *"),
+        )
+        if out is not None and y is not out:
+            out[:] = y
+            return out
+        return y
+
+    def sell_group_matvec(self, rows, cols_t, vals_t, x, work, y) -> None:
+        """One SELL width group; writes ``y[rows]`` in place."""
+        x = self._c(x, np.float64)
+        width, g = cols_t.shape
+        if y.flags.c_contiguous:
+            self._lib.sell_group_matvec(
+                self._ptr(rows, "int64_t *"),
+                self._ptr(cols_t, "int64_t *"),
+                self._ptr(vals_t, "double *"),
+                width,
+                g,
+                self._ptr(x, "double *"),
+                self._ptr(y, "double *"),
+            )
+            return
+        tmp = np.empty(g, dtype=np.float64)
+        ident = np.arange(g, dtype=np.int64)
+        self._lib.sell_group_matvec(
+            self._ptr(ident, "int64_t *"),
+            self._ptr(cols_t, "int64_t *"),
+            self._ptr(vals_t, "double *"),
+            width,
+            g,
+            self._ptr(x, "double *"),
+            self._ptr(tmp, "double *"),
+        )
+        y[rows] = tmp

@@ -1,0 +1,260 @@
+"""Kernel-dispatch registry and backend resolution.
+
+Every hot kernel of the reproduction — the bitpack scatter/gather, the
+FRSZ2 encode/decode block loops, the CSR/ELL/SELL SpMV kernels and the
+fused tile reductions — is registered here under a ``(name, backend)``
+key.  Components (the codec, the sparse matrices, the solvers) resolve
+their kernels through :func:`get_kernel` at construction time, so the
+``backend={numpy,jit}`` switch is a single attribute threaded from the
+CLI down to the innermost loop.
+
+Backends
+--------
+``numpy``
+    The vectorized reference implementations, registered by the modules
+    that define them (:mod:`repro.core.bitpack`, :mod:`repro.core.frsz2`,
+    :mod:`repro.sparse`, :mod:`repro.fused`).
+``jit``
+    Runtime-compiled scalar kernels that replay the *exact* arithmetic
+    of the reference (same accumulation order, same rounding, no FMA
+    contraction), so results are byte-equal.  Two engines are tried in
+    order:
+
+    1. :mod:`repro.jit.nbackend` — Numba ``@njit`` kernels (install via
+       the ``[jit]`` extra).
+    2. :mod:`repro.jit.cbackend` — C kernels compiled at runtime with
+       the system C compiler through cffi.
+
+    Whichever engine loads first must pass a bit-identity self-test
+    against the numpy reference before it is accepted; a failing or
+    missing engine falls through to the next.  When no engine works,
+    :func:`resolve_backend` degrades ``jit`` to ``numpy`` with a
+    :class:`JitUnavailableWarning` naming the reason.
+
+The registry is deliberately flat: ``get_kernel`` is called once per
+object construction (not per matvec), so dispatch overhead never sits
+on the hot path.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "BACKENDS",
+    "JitUnavailableWarning",
+    "JitUnavailableError",
+    "register_kernel",
+    "register",
+    "get_kernel",
+    "registered_kernels",
+    "load_engine",
+    "jit_available",
+    "jit_engine_name",
+    "jit_unavailable_reason",
+    "resolve_backend",
+]
+
+#: accepted values for every ``backend=`` knob
+BACKENDS = ("numpy", "jit")
+
+
+class JitUnavailableWarning(UserWarning):
+    """``backend='jit'`` was requested but no JIT engine could be loaded."""
+
+
+class JitUnavailableError(RuntimeError):
+    """A jit kernel was requested while no JIT engine is available."""
+
+
+_REGISTRY: Dict[Tuple[str, str], Callable] = {}
+
+
+def register_kernel(name: str, backend: str, fn: Callable) -> Callable:
+    """Register ``fn`` as kernel ``name`` for ``backend``; returns ``fn``."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    _REGISTRY[(name, backend)] = fn
+    return fn
+
+
+def register(name: str, backend: str) -> Callable:
+    """Decorator form of :func:`register_kernel`."""
+
+    def deco(fn: Callable) -> Callable:
+        return register_kernel(name, backend, fn)
+
+    return deco
+
+
+def get_kernel(name: str, backend: str = "numpy") -> Callable:
+    """The kernel registered as ``name`` for ``backend``.
+
+    For ``backend='jit'`` the engine is loaded (and its kernels
+    registered) on first use; raises :class:`JitUnavailableError` when
+    no engine works — callers are expected to pass a backend that went
+    through :func:`resolve_backend` first.
+    """
+    if backend == "jit":
+        _ensure_jit_kernels()
+    try:
+        return _REGISTRY[(name, backend)]
+    except KeyError:
+        raise KeyError(
+            f"no kernel {name!r} registered for backend {backend!r}"
+        ) from None
+
+
+def registered_kernels(backend: Optional[str] = None) -> List[str]:
+    """Sorted kernel names registered for ``backend`` (or all backends)."""
+    return sorted(
+        {n for (n, b) in _REGISTRY if backend is None or b == backend}
+    )
+
+
+# ----------------------------------------------------------------------
+# engine loading
+# ----------------------------------------------------------------------
+
+_ENGINE = None
+_ENGINE_LOADED = False
+_ENGINE_FAILURE: Optional[str] = None
+
+
+def _load_numba():
+    from . import nbackend
+
+    return nbackend.NumbaEngine()
+
+
+def _load_cffi():
+    from . import cbackend
+
+    return cbackend.CEngine()
+
+
+def load_engine():
+    """The process-wide JIT engine, or ``None`` with the reason recorded.
+
+    Engines are tried in preference order (numba, then the cffi/C
+    fallback); each candidate must pass :func:`selftest.run` — a
+    bit-identity check of every kernel family against the numpy
+    reference — before it is accepted.  The result (including failure)
+    is cached for the process; set ``REPRO_JIT_DISABLE=1`` to force the
+    unavailable path or ``REPRO_JIT_ENGINE={numba,cffi}`` to pin one
+    candidate.
+    """
+    global _ENGINE, _ENGINE_LOADED, _ENGINE_FAILURE
+    if _ENGINE_LOADED:
+        return _ENGINE
+    _ENGINE_LOADED = True
+    if os.environ.get("REPRO_JIT_DISABLE"):
+        _ENGINE_FAILURE = "disabled via REPRO_JIT_DISABLE"
+        return None
+    preferred = os.environ.get("REPRO_JIT_ENGINE")
+    reasons = []
+    for name, loader in (("numba", _load_numba), ("cffi", _load_cffi)):
+        if preferred and name != preferred:
+            continue
+        try:
+            engine = loader()
+            from . import selftest
+
+            selftest.run(engine)
+        except Exception as exc:  # noqa: BLE001 - any failure disables the engine
+            reasons.append(f"{name}: {type(exc).__name__}: {exc}")
+            continue
+        _ENGINE = engine
+        return engine
+    _ENGINE_FAILURE = "; ".join(reasons) or "no engine candidates"
+    return None
+
+
+def jit_available() -> bool:
+    """True when a JIT engine loaded and passed its bit-identity self-test."""
+    return load_engine() is not None
+
+
+def jit_engine_name() -> Optional[str]:
+    """``'numba'`` / ``'cffi'`` when available, else ``None``."""
+    engine = load_engine()
+    return engine.name if engine is not None else None
+
+
+def jit_unavailable_reason() -> Optional[str]:
+    """Why no engine loaded (``None`` while one is available)."""
+    load_engine()
+    return None if _ENGINE is not None else _ENGINE_FAILURE
+
+
+def _reset_engine_cache() -> None:
+    """Testing hook: forget the cached engine/registrations."""
+    global _ENGINE, _ENGINE_LOADED, _ENGINE_FAILURE
+    _ENGINE = None
+    _ENGINE_LOADED = False
+    _ENGINE_FAILURE = None
+    for key in [k for k in _REGISTRY if k[1] == "jit"]:
+        del _REGISTRY[key]
+
+
+def resolve_backend(backend: Optional[str], warn: bool = True) -> str:
+    """Validate a ``backend=`` knob and degrade gracefully.
+
+    ``None`` means ``numpy``.  ``jit`` resolves to itself when an engine
+    is available and otherwise falls back to ``numpy``, emitting a
+    :class:`JitUnavailableWarning` that names what failed (unless
+    ``warn=False``).  Unknown names raise ``ValueError``.
+    """
+    if backend is None:
+        return "numpy"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "jit" and not jit_available():
+        if warn:
+            warnings.warn(
+                f"jit backend unavailable ({jit_unavailable_reason()}); "
+                "falling back to numpy",
+                JitUnavailableWarning,
+                stacklevel=2,
+            )
+        return "numpy"
+    return backend
+
+
+def _ensure_jit_kernels() -> None:
+    """Register the loaded engine's kernels under the ``jit`` backend."""
+    engine = load_engine()
+    if engine is None:
+        raise JitUnavailableError(
+            f"jit backend unavailable: {jit_unavailable_reason()}"
+        )
+    if ("frsz2.encode_fields", "jit") in _REGISTRY:
+        return
+    register_kernel("bitpack.pack_at", "jit", engine.pack_at)
+    register_kernel("bitpack.unpack_at", "jit", engine.unpack_at)
+    register_kernel("frsz2.encode_fields", "jit", engine.encode_fields)
+    register_kernel("frsz2.decode_fields", "jit", engine.decode_fields)
+    register_kernel("frsz2.pack_stream", "jit", engine.pack_stream)
+    register_kernel("frsz2.decode_stream", "jit", engine.decode_stream)
+    register_kernel("frsz2.decode_gather", "jit", engine.decode_gather)
+    register_kernel("spmv.csr_matvec", "jit", engine.csr_matvec)
+    register_kernel("spmv.ell_matvec", "jit", engine.ell_matvec)
+    register_kernel("spmv.sell_group_matvec", "jit", engine.sell_group_matvec)
+    # The fused tile kernels are backend-shared: the per-tile BLAS ``@``
+    # reduction is the determinism contract itself (its internal blocking
+    # cannot be replayed in scalar compiled code), so ``jit`` registers
+    # the numpy callables and gains its speedup from the engine's codec
+    # decode feeding the tiles.
+    from ..fused import batch as _fused_batch
+    from ..fused import kernels as _fused_kernels
+
+    register_kernel("fused.dot_basis", "jit", _fused_kernels.dot_basis_fused)
+    register_kernel("fused.combine", "jit", _fused_kernels.combine_fused)
+    register_kernel("fused.axpy", "jit", _fused_kernels.axpy_fused)
+    register_kernel("fused.norm", "jit", _fused_kernels.norm_fused)
+    register_kernel("fused.dot_basis_batch", "jit", _fused_batch.dot_basis_batch)
+    register_kernel("fused.axpy_batch", "jit", _fused_batch.axpy_batch)

@@ -1,0 +1,420 @@
+"""Numba ``@njit`` kernel engine (the ``[jit]`` optional extra).
+
+The preferred JIT engine: the same scalar kernels as
+:mod:`repro.jit.cbackend`, expressed as Numba ``nopython`` functions.
+Importing this module raises ``ImportError`` when Numba is absent;
+:func:`repro.jit.dispatch.load_engine` then falls through to the C
+engine and, failing that, to numpy with a
+:class:`~repro.jit.dispatch.JitUnavailableWarning`.
+
+Bit-identity notes
+------------------
+* float64 inputs/outputs are reinterpreted as ``uint64`` *outside* the
+  kernels (zero-copy views), so the codec kernels are pure integer bit
+  manipulation — byte-equal to the reference by construction.
+* all integer locals are kept strictly ``uint64``/``int64``; mixing the
+  two would make Numba promote to float64 and silently change bits.
+* Numba does not apply fast-math or FMA contraction by default, so the
+  SpMV accumulations round exactly like the numpy reference; the
+  engine self-test (:mod:`repro.jit.selftest`) verifies this before
+  the engine is accepted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from numba import njit  # noqa: F401 - ImportError here disables the engine
+
+__all__ = ["NumbaEngine"]
+
+_U64 = np.uint64
+_MANTISSA_MASK = np.uint64(0xFFFFFFFFFFFFF)
+_IMPLICIT_BIT = np.uint64(1) << np.uint64(52)
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@njit(cache=True)
+def _mask(width):
+    if width >= 64:
+        return _ONES
+    return (_U64(1) << _U64(width)) - _U64(1)
+
+
+@njit(cache=True)
+def _put_chunk(words, bitpos, chunk, nbits):
+    if nbits <= 0:
+        return
+    v = (chunk & _mask(nbits)) << _U64(bitpos & 31)
+    wi = bitpos >> 5
+    words[wi] |= np.uint32(v & _U64(0xFFFFFFFF))
+    hi = np.uint32(v >> _U64(32))
+    if hi:
+        words[wi + 1] |= hi
+
+
+@njit(cache=True)
+def _get_chunk(words, bitpos, nbits):
+    wi = bitpos >> 5
+    off = bitpos & 31
+    nxt = wi + 1
+    if nxt > words.size - 1:
+        nxt = words.size - 1
+    lo = _U64(words[wi])
+    hi = _U64(words[nxt])
+    if off == 0:
+        combined = lo
+    else:
+        combined = (lo >> _U64(off)) | (hi << _U64(32 - off))
+    return combined & _mask(nbits)
+
+
+@njit(cache=True)
+def _pack_at(words, bitpos, fields, widths):
+    for i in range(fields.size):
+        w = widths[i]
+        val = fields[i] & _mask(w)
+        lo_bits = w if w < 32 else 32
+        _put_chunk(words, bitpos[i], val, lo_bits)
+        if w > 32:
+            _put_chunk(words, bitpos[i] + 32, val >> _U64(32), w - 32)
+
+
+@njit(cache=True)
+def _unpack_at(words, bitpos, widths, out):
+    for i in range(bitpos.size):
+        w = widths[i]
+        lo_bits = w if w < 32 else 32
+        val = _get_chunk(words, bitpos[i], lo_bits)
+        if w > 32:
+            val |= _get_chunk(words, bitpos[i] + 32, w - 32) << _U64(32)
+        out[i] = val
+
+
+@njit(cache=True)
+def _encode(xbits, n, bs, l, rounding, fields, e_max_out):
+    nb = (n + bs - 1) // bs
+    for b in range(nb):
+        i0 = b * bs
+        i1 = min(i0 + bs, n)
+        e_max = _U64(1)
+        for i in range(i0, i1):
+            bits = xbits[i]
+            be = (bits >> _U64(52)) & _U64(0x7FF)
+            if be == _U64(0x7FF):
+                return i + 1
+            e_eff = be if be != _U64(0) else _U64(1)
+            if e_eff > e_max:
+                e_max = e_eff
+        e_max_out[b] = np.int32(e_max)
+        for i in range(i0, i1):
+            bits = xbits[i]
+            be = (bits >> _U64(52)) & _U64(0x7FF)
+            sign = bits >> _U64(63)
+            e_eff = be if be != _U64(0) else _U64(1)
+            sig53 = bits & _MANTISSA_MASK
+            if be != _U64(0):
+                sig53 |= _IMPLICIT_BIT
+            k = np.int64(e_max) - np.int64(e_eff)
+            shift = np.int64(54 - l) + k
+            base = sig53
+            if rounding:
+                half_bit = shift - 1
+                if half_bit < 0:
+                    half_bit = 0
+                if half_bit > 63:
+                    half_bit = 63
+                if shift > 0 and shift <= 54:
+                    base = sig53 + (_U64(1) << _U64(half_bit))
+            pos = shift
+            if pos < 0:
+                pos = 0
+            if pos > 63:
+                pos = 63
+            neg = -shift
+            if neg < 0:
+                neg = 0
+            if neg > 63:
+                neg = 63
+            c_sig = (base >> _U64(pos)) << _U64(neg)
+            if rounding:
+                limit = (_U64(1) << _U64(l - 1)) - _U64(1)
+                if c_sig > limit:
+                    c_sig = limit
+            fields[i] = (sign << _U64(l - 1)) | c_sig
+    return 0
+
+
+@njit(cache=True)
+def _decode_field(f, e_max, l):
+    sig_mask = (_U64(1) << _U64(l - 1)) - _U64(1)
+    sign = f >> _U64(l - 1)
+    c_sig = f & sig_mask
+    bits = sign << _U64(63)
+    if c_sig != _U64(0):
+        hsb = np.int64(63)
+        probe = c_sig
+        while (probe >> _U64(63)) == _U64(0):
+            probe = probe << _U64(1)
+            hsb -= 1
+        e = e_max - (np.int64(l) - 2 - hsb)
+        if e >= 1:
+            up = 52 - hsb
+            if up < 0:
+                up = 0
+            down = hsb - 52
+            if down < 0:
+                down = 0
+            sig53 = (c_sig >> _U64(down)) << _U64(up)
+            bits |= (_U64(e) & _U64(0x7FF)) << _U64(52)
+            bits |= sig53 & _MANTISSA_MASK
+    return bits
+
+
+@njit(cache=True)
+def _decode_fields(fields, e_max, l, out_bits):
+    for i in range(fields.size):
+        out_bits[i] = _decode_field(fields[i], e_max[i], l)
+
+
+@njit(cache=True)
+def _pack_stream(fields, n, bs, l, wpb, words):
+    for i in range(n):
+        block = i // bs
+        bitpos = block * wpb * 32 + (i - block * bs) * l
+        lo_bits = l if l < 32 else 32
+        _put_chunk(words, bitpos, fields[i], lo_bits)
+        if l > 32:
+            _put_chunk(words, bitpos + 32, fields[i] >> _U64(32), l - 32)
+
+
+@njit(cache=True)
+def _read_slot_packed(words, i, bs, l, wpb):
+    block = i // bs
+    bitpos = block * wpb * 32 + (i - block * bs) * l
+    lo_bits = l if l < 32 else 32
+    val = _get_chunk(words, bitpos, lo_bits)
+    if l > 32:
+        val |= _get_chunk(words, bitpos + 32, l - 32) << _U64(32)
+    return val
+
+
+@njit(cache=True)
+def _decode_stream_aligned(payload, exponents, n, bs, l, out_bits):
+    for i in range(n):
+        out_bits[i] = _decode_field(
+            _U64(payload[i]), np.int64(exponents[i // bs]), l
+        )
+
+
+@njit(cache=True)
+def _decode_stream_packed(words, exponents, n, bs, l, wpb, out_bits):
+    for i in range(n):
+        f = _read_slot_packed(words, i, bs, l, wpb)
+        out_bits[i] = _decode_field(f, np.int64(exponents[i // bs]), l)
+
+
+@njit(cache=True)
+def _decode_gather_aligned(payload, exponents, idx, bs, l, out_bits):
+    for i in range(idx.size):
+        j = idx[i]
+        out_bits[i] = _decode_field(
+            _U64(payload[j]), np.int64(exponents[j // bs]), l
+        )
+
+
+@njit(cache=True)
+def _decode_gather_packed(words, exponents, idx, bs, l, wpb, out_bits):
+    for i in range(idx.size):
+        j = idx[i]
+        f = _read_slot_packed(words, j, bs, l, wpb)
+        out_bits[i] = _decode_field(f, np.int64(exponents[j // bs]), l)
+
+
+@njit(cache=True)
+def _csr_matvec(rows, cols, data, x, y):
+    for r in range(y.size):
+        y[r] = 0.0
+    for i in range(data.size):
+        y[rows[i]] += data[i] * x[cols[i]]
+
+
+@njit(cache=True)
+def _ell_matvec(cols_t, vals_t, x, y):
+    width, m = cols_t.shape
+    if width == 0:
+        for r in range(m):
+            y[r] = 0.0
+        return
+    for r in range(m):
+        y[r] = vals_t[0, r] * x[cols_t[0, r]]
+    for s in range(1, width):
+        for r in range(m):
+            y[r] += vals_t[s, r] * x[cols_t[s, r]]
+
+
+@njit(cache=True)
+def _sell_group_matvec(rows, cols_t, vals_t, x, y):
+    width, g = cols_t.shape
+    for r in range(g):
+        acc = vals_t[0, r] * x[cols_t[0, r]]
+        for s in range(1, width):
+            acc += vals_t[s, r] * x[cols_t[s, r]]
+        y[rows[r]] = acc
+
+
+class NumbaEngine:
+    """Engine facade over the ``@njit`` kernels (same API as ``CEngine``)."""
+
+    name = "numba"
+
+    # -- bitpack ------------------------------------------------------
+
+    def pack_at(self, words, bitpos, fields, widths) -> None:
+        from ..core import bitpack
+
+        if words.dtype != np.uint32:
+            raise TypeError("words must be uint32")
+        bitpos = np.asarray(bitpos, dtype=np.int64)
+        fields = np.asarray(fields, dtype=np.uint64)
+        widths = np.broadcast_to(np.asarray(widths, dtype=np.int64), fields.shape)
+        if bitpos.shape != fields.shape:
+            raise ValueError("bitpos and fields must have the same shape")
+        if fields.size == 0:
+            return
+        if np.any(widths < 1) or np.any(widths > 64):
+            raise ValueError("widths must be in [1, 64]")
+        if np.any(fields & ~bitpack._field_mask(widths)):
+            raise ValueError("field value exceeds its declared width")
+        bitpack._check_bounds(bitpos, widths, words.size)
+        if not words.flags.c_contiguous:
+            bitpack.pack_at(words, bitpos, fields, widths)
+            return
+        _pack_at(
+            words,
+            np.ascontiguousarray(bitpos),
+            np.ascontiguousarray(fields),
+            np.ascontiguousarray(widths),
+        )
+
+    def unpack_at(self, words, bitpos, widths) -> np.ndarray:
+        from ..core import bitpack
+
+        if words.dtype != np.uint32:
+            raise TypeError("words must be uint32")
+        bitpos = np.asarray(bitpos, dtype=np.int64)
+        widths = np.broadcast_to(np.asarray(widths, dtype=np.int64), bitpos.shape)
+        if bitpos.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        if np.any(widths < 1) or np.any(widths > 64):
+            raise ValueError("widths must be in [1, 64]")
+        bitpack._check_bounds(bitpos, widths, words.size)
+        out = np.empty(bitpos.shape, dtype=np.uint64)
+        _unpack_at(
+            np.ascontiguousarray(words),
+            np.ascontiguousarray(bitpos),
+            np.ascontiguousarray(widths),
+            out,
+        )
+        return out
+
+    # -- FRSZ2 codec --------------------------------------------------
+
+    def encode_fields(self, x, bit_length, block_size, rounding):
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        n = x.size
+        nb = -(-n // block_size)
+        fields = np.empty(n, dtype=np.uint64)
+        e_max = np.empty(nb, dtype=np.int32)
+        if n:
+            rc = _encode(
+                x.view(np.uint64), n, block_size, bit_length,
+                bool(rounding), fields, e_max,
+            )
+            if rc:
+                raise ValueError("FRSZ2 does not support NaN or Inf inputs")
+        return fields, e_max
+
+    def decode_fields(self, fields, e_max_per_value, bit_length) -> np.ndarray:
+        fields = np.ascontiguousarray(fields, dtype=np.uint64)
+        e_max = np.ascontiguousarray(e_max_per_value, dtype=np.int64)
+        out = np.empty(fields.size, dtype=np.float64)
+        if fields.size:
+            _decode_fields(fields, e_max, bit_length, out.view(np.uint64))
+        return out
+
+    def pack_stream(self, fields, layout) -> np.ndarray:
+        fields = np.ascontiguousarray(fields, dtype=np.uint64)
+        words = np.zeros(layout.value_words, dtype=np.uint32)
+        if fields.size:
+            _pack_stream(
+                fields, fields.size, layout.block_size, layout.bit_length,
+                layout.words_per_block, words,
+            )
+        return words
+
+    def decode_stream(self, comp, out) -> np.ndarray:
+        layout = comp.layout
+        if comp.n == 0:
+            return out
+        exponents = np.ascontiguousarray(comp.exponents, dtype=np.int32)
+        if layout.is_aligned:
+            _decode_stream_aligned(
+                comp.payload, exponents, comp.n, layout.block_size,
+                layout.bit_length, out.view(np.uint64),
+            )
+        else:
+            _decode_stream_packed(
+                comp.payload, exponents, comp.n, layout.block_size,
+                layout.bit_length, layout.words_per_block,
+                out.view(np.uint64),
+            )
+        return out
+
+    def decode_gather(self, comp, indices, out=None) -> np.ndarray:
+        layout = comp.layout
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if out is None:
+            out = np.empty(indices.size, dtype=np.float64)
+        if indices.size == 0:
+            return out
+        exponents = np.ascontiguousarray(comp.exponents, dtype=np.int32)
+        if layout.is_aligned:
+            _decode_gather_aligned(
+                comp.payload, exponents, indices, layout.block_size,
+                layout.bit_length, out.view(np.uint64),
+            )
+        else:
+            _decode_gather_packed(
+                comp.payload, exponents, indices, layout.block_size,
+                layout.bit_length, layout.words_per_block,
+                out.view(np.uint64),
+            )
+        return out
+
+    # -- SpMV ---------------------------------------------------------
+
+    def csr_matvec(self, rows, cols, data, x, m) -> np.ndarray:
+        y = np.empty(m, dtype=np.float64)
+        _csr_matvec(rows, cols, data, np.ascontiguousarray(x, np.float64), y)
+        return y
+
+    def ell_matvec(self, cols_t, vals_t, x, work, out) -> np.ndarray:
+        m = cols_t.shape[1]
+        y = out if out is not None and out.flags.c_contiguous else np.empty(m)
+        _ell_matvec(cols_t, vals_t, np.ascontiguousarray(x, np.float64), y)
+        if out is not None and y is not out:
+            out[:] = y
+            return out
+        return y
+
+    def sell_group_matvec(self, rows, cols_t, vals_t, x, work, y) -> None:
+        x = np.ascontiguousarray(x, np.float64)
+        if y.flags.c_contiguous:
+            _sell_group_matvec(rows, cols_t, vals_t, x, y)
+            return
+        tmp = np.empty(rows.size, dtype=np.float64)
+        _sell_group_matvec(
+            np.arange(rows.size, dtype=np.int64), cols_t, vals_t, x, tmp
+        )
+        y[rows] = tmp

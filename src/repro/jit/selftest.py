@@ -1,0 +1,159 @@
+"""Bit-identity self-test every JIT engine must pass before acceptance.
+
+:func:`repro.jit.dispatch.load_engine` runs :func:`run` on each engine
+candidate; any mismatch (or crash) rejects the engine and the loader
+falls through to the next candidate, ultimately to the numpy backend.
+This is the first line of the byte-equality contract — the parametrized
+backend suite in ``tests/test_jit.py`` is the second.
+
+The inputs deliberately cover the codec's edge geometry: straddling and
+aligned bit lengths, partial trailing blocks, rounding carries, signed
+zeros, subnormals, and huge dynamic range within one block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["run"]
+
+
+def _expect(ok: bool, what: str) -> None:
+    if not ok:
+        raise AssertionError(f"jit self-test mismatch: {what}")
+
+
+def _sample_values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Finite float64 values exercising every codec branch."""
+    x = rng.standard_normal(n) * np.exp2(rng.integers(-320, 300, n).astype(float))
+    x[:: 7] = 0.0
+    x[1:: 11] = -0.0
+    x[2:: 13] = 5e-324  # subnormal
+    x[3:: 17] = -1.7976931348623157e308
+    return x
+
+
+def _check_bitpack(engine, rng: np.random.Generator) -> None:
+    from ..core import bitpack
+
+    n = 257
+    widths = rng.integers(1, 65, n)
+    bitpos = np.concatenate([[0], np.cumsum(widths)[:-1]])
+    fields = rng.integers(0, 1 << 62, n, dtype=np.uint64) & bitpack._field_mask(
+        widths
+    )
+    nwords = bitpack.words_needed(int(bitpos[-1] + widths[-1]))
+    ref = np.zeros(nwords, dtype=np.uint32)
+    bitpack.pack_at(ref, bitpos, fields, widths)
+    got = np.zeros(nwords, dtype=np.uint32)
+    engine.pack_at(got, bitpos, fields, widths)
+    _expect(np.array_equal(ref, got), "bitpack.pack_at")
+    _expect(
+        np.array_equal(
+            bitpack.unpack_at(ref, bitpos, widths),
+            engine.unpack_at(ref, bitpos, widths),
+        ),
+        "bitpack.unpack_at",
+    )
+
+
+def _check_codec(engine, rng: np.random.Generator) -> None:
+    from ..core.frsz2 import FRSZ2
+
+    x = _sample_values(rng, 203)  # partial trailing block for bs in {32, 5}
+    for bit_length in (16, 21, 32, 51, 64):
+        for rounding in (False, True):
+            for block_size in (32, 5):
+                codec = FRSZ2(
+                    bit_length=bit_length,
+                    block_size=block_size,
+                    rounding=rounding,
+                )
+                tag = f"l={bit_length} bs={block_size} rounding={rounding}"
+                ref_fields, ref_emax = codec._encode_fields(x)
+                fields, emax = engine.encode_fields(
+                    x, bit_length, block_size, rounding
+                )
+                _expect(
+                    np.array_equal(ref_fields, fields)
+                    and np.array_equal(ref_emax, emax),
+                    f"frsz2.encode_fields ({tag})",
+                )
+                comp = codec.compress(x)
+                layout = comp.layout
+                if not layout.is_aligned:
+                    _expect(
+                        np.array_equal(
+                            comp.payload, engine.pack_stream(fields, layout)
+                        ),
+                        f"frsz2.pack_stream ({tag})",
+                    )
+                ref_full = codec.decompress(comp)
+                got_full = engine.decode_stream(comp, np.empty(x.size))
+                _expect(
+                    np.array_equal(
+                        ref_full.view(np.uint64), got_full.view(np.uint64)
+                    ),
+                    f"frsz2.decode_stream ({tag})",
+                )
+                idx = rng.integers(0, x.size, 97)
+                ref_some = codec.get(comp, idx)
+                got_some = engine.decode_gather(comp, idx)
+                _expect(
+                    np.array_equal(
+                        ref_some.view(np.uint64), got_some.view(np.uint64)
+                    ),
+                    f"frsz2.decode_gather ({tag})",
+                )
+                e_pv = comp.exponents.astype(np.int64)[idx // block_size]
+                ref_dec = codec._decode_fields(ref_fields[idx], e_pv)
+                got_dec = engine.decode_fields(ref_fields[idx], e_pv, bit_length)
+                _expect(
+                    np.array_equal(
+                        ref_dec.view(np.uint64), got_dec.view(np.uint64)
+                    ),
+                    f"frsz2.decode_fields ({tag})",
+                )
+
+
+def _check_spmv(engine, rng: np.random.Generator) -> None:
+    from ..sparse.csr import CSRMatrix
+    from ..sparse.ell import ELLMatrix
+    from ..sparse.sell import SELLMatrix
+
+    m = 70
+    density = 0.15
+    mask = rng.random((m, m)) < density
+    np.fill_diagonal(mask, True)
+    dense = np.where(mask, rng.standard_normal((m, m)), 0.0)
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(mask.sum(axis=1), out=indptr[1:])
+    cols = np.nonzero(mask)[1].astype(np.int64)
+    data = dense[mask]
+    a = CSRMatrix((m, m), indptr, cols, data)
+    x = rng.standard_normal(m)
+
+    ref = a.matvec(x)
+    got = engine.csr_matvec(a._rows, a.indices, a.data, x, m)
+    _expect(np.array_equal(ref.view(np.uint64), got.view(np.uint64)),
+            "spmv.csr_matvec")
+
+    ell = ELLMatrix.from_csr(a)
+    got = engine.ell_matvec(ell.cols_t, ell.vals_t, x, None, None)
+    _expect(np.array_equal(ref.view(np.uint64), got.view(np.uint64)),
+            "spmv.ell_matvec")
+
+    sell = SELLMatrix.from_csr(a, slice_size=8, sigma=16)
+    y = np.zeros(m)
+    for rows, cols_t, vals_t, _ in sell._groups:
+        engine.sell_group_matvec(rows, cols_t, vals_t, x, None, y)
+    _expect(np.array_equal(ref.view(np.uint64), y.view(np.uint64)),
+            "spmv.sell_group_matvec")
+
+
+def run(engine) -> None:
+    """Raise unless ``engine`` reproduces the numpy kernels bit-for-bit."""
+    rng = np.random.default_rng(0xF25F2)
+    _check_bitpack(engine, rng)
+    _check_codec(engine, rng)
+    _check_spmv(engine, rng)

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..accessor import make_accessor
 from ..bench.report import format_table
+from ..jit import dispatch as _dispatch
 from ..parallel import WorkerCrashError, run_grid
 from ..sparse.engine import SPMV_FORMATS, SpmvEngine
 from ..solvers.adaptive import ADAPTIVE_STORAGE
@@ -151,19 +152,22 @@ def _run_cell(
     policy: FallbackPolicy,
     spmv_format: str = "csr",
     basis_mode: str = "cached",
+    backend: "str | None" = None,
 ) -> CampaignCell:
     injector = FaultInjector(rate, seed_key)
     a = problem.a
     if spmv_format != "csr":
         # build the engine first so SpMV faults poison the *selected*
         # format's output, exactly as they would the CSR kernel's
-        a = SpmvEngine(a, format=spmv_format)
+        a = SpmvEngine(a, format=spmv_format, backend=backend)
     if fault in _SPMV_FAULTS:
         a = FaultySpmvMatrix(a, injector, fault)
         wrap = None
     else:
         def wrap(fmt: str, n: int):
-            return FaultyAccessor(make_accessor(fmt, n), injector, fault)
+            return FaultyAccessor(
+                make_accessor(fmt, n, backend=backend), injector, fault
+            )
 
     try:
         if hardened and fallback:
@@ -174,6 +178,7 @@ def _run_cell(
                 max_iter=max_iter,
                 accessor_factory=wrap,
                 basis_mode=basis_mode,
+                backend=backend,
             )
             rr = solver.solve(problem.b, problem.target_rrn)
             return CampaignCell(
@@ -199,7 +204,7 @@ def _run_cell(
         solver = CbGmres(
             a, storage, m=m, max_iter=max_iter,
             accessor_factory=factory, storage_factory=storage_factory,
-            recovery=hardened, basis_mode=basis_mode,
+            recovery=hardened, basis_mode=basis_mode, backend=backend,
         )
         res = solver.solve(problem.b, problem.target_rrn)
         if res.converged:
@@ -244,6 +249,7 @@ def run_campaign(
     jobs: int = 1,
     spmv_format: str = "csr",
     basis_mode: str = "cached",
+    backend: "str | None" = None,
 ) -> CampaignResult:
     """Sweep fault kind × storage format × rate on one suite matrix.
 
@@ -277,6 +283,11 @@ def run_campaign(
         raise ValueError(
             f"unknown SpMV format {spmv_format!r}; expected one of {SPMV_FORMATS}"
         )
+    # resolve the backend once in the parent so an unavailable-jit
+    # warning fires a single time, not once per grid cell or worker;
+    # the jit kernels are bit-identical, so fault reproduction is
+    # unchanged across backends
+    backend = _dispatch.resolve_backend(backend)
     problem = make_problem(matrix, scale, target_rrn=target_rrn)
     policy = policy or FallbackPolicy()
     tasks = [
@@ -285,6 +296,7 @@ def run_campaign(
             seed_key=(seed, i_f, i_s, i_r), m=m, max_iter=max_iter,
             hardened=hardened, fallback=fallback, policy=policy,
             spmv_format=spmv_format, basis_mode=basis_mode,
+            backend=backend,
         )
         for i_f, fault in enumerate(faults)
         for i_s, storage in enumerate(storages)

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..accessor import VectorAccessor, make_accessor
+from ..jit import dispatch as _dispatch
 from ..sparse.csr import CSRMatrix
 from ..sparse.engine import SpmvEngine
 from ..solvers.adaptive import ADAPTIVE_STORAGE, ControllerConfig
@@ -140,7 +141,10 @@ class RobustCbGmres:
     attempt's basis in a :class:`~repro.robust.faults.FaultyAccessor`.
     ``spmv_format`` (default ``"csr"``) wraps ``a`` in a
     :class:`~repro.sparse.engine.SpmvEngine` *once*, so every attempt
-    of the chain reuses the same converted layout.
+    of the chain reuses the same converted layout.  ``backend``
+    (``"numpy"``/``"jit"``) is resolved once and threaded into every
+    attempt's solver; the jit kernels are bit-identical to numpy, so
+    the fallback decisions are unaffected.
     """
 
     def __init__(
@@ -157,9 +161,17 @@ class RobustCbGmres:
         basis_mode: str = "cached",
         tile_elems: Optional[int] = None,
         precision: Optional[ControllerConfig] = None,
+        backend: "str | None" = None,
     ) -> None:
+        # resolve once so every attempt of the chain shares one resolved
+        # backend (and any unavailable-jit warning fires exactly once)
+        self.backend = (
+            _dispatch.resolve_backend(backend) if backend is not None else None
+        )
         if spmv_format != "csr" and isinstance(a, CSRMatrix):
-            a = SpmvEngine(a, format=spmv_format)
+            a = SpmvEngine(a, format=spmv_format, backend=self.backend)
+        elif backend is not None and hasattr(a, "set_backend"):
+            a.set_backend(self.backend)
         self.spmv_format = spmv_format
         self.a = a
         self.policy = policy or FallbackPolicy()
@@ -244,6 +256,7 @@ class RobustCbGmres:
                 recovery=True,
                 max_recoveries=self.policy.max_recoveries,
                 basis_mode=self.basis_mode,
+                backend=self.backend,
                 **(
                     {"tile_elems": self.tile_elems}
                     if self.tile_elems is not None

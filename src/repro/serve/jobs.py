@@ -114,8 +114,9 @@ class JobSpec:
     rhs_seed : int, optional
         ``None`` uses the paper's deterministic RHS; an integer builds a
         seeded random unit-norm RHS instead (``b = A x_rand``).
-    spmv_format, basis_mode : str
-        Forwarded to :class:`~repro.solvers.gmres.CbGmres`.
+    spmv_format, basis_mode, backend : str
+        Forwarded to :class:`~repro.solvers.gmres.CbGmres` (``backend``
+        selects the numpy or jit kernel backend; bit-identical).
     deadline_s : float, optional
         Whole-job wall deadline, counted from the job's *first* dispatch
         to a worker (queue wait does not consume it); spans retries and
@@ -140,6 +141,7 @@ class JobSpec:
     rhs_seed: Optional[int] = None
     spmv_format: str = "csr"
     basis_mode: str = "cached"
+    backend: str = "numpy"
     deadline_s: Optional[float] = None
     max_retries: Optional[int] = None
     progress_every: int = 25
@@ -156,6 +158,7 @@ class JobSpec:
             "rhs_seed": self.rhs_seed,
             "spmv_format": self.spmv_format,
             "basis_mode": self.basis_mode,
+            "backend": self.backend,
             "deadline_s": self.deadline_s,
             "max_retries": self.max_retries,
             "progress_every": self.progress_every,

@@ -170,6 +170,7 @@ def run_solve_job(
             max_iter=spec["max_iter"],
             spmv_format=spec.get("spmv_format", "csr"),
             basis_mode=spec.get("basis_mode", "cached"),
+            backend=spec.get("backend", "numpy"),
             accessor_factory=accessor_factory,
             storage_factory=storage_factory,
             tracer=tracer,
@@ -302,6 +303,7 @@ def run_solve_batch_job(
             max_iter=lead["max_iter"],
             spmv_format=lead.get("spmv_format", "csr"),
             basis_mode=lead.get("basis_mode", "cached"),
+            backend=lead.get("backend", "numpy"),
             tracer=tracer,
         )
         batch = solver.solve_batch(

@@ -34,6 +34,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..accessor import VectorAccessor, make_accessor
+from ..jit import dispatch as _dispatch
 from ..fused import (
     DEFAULT_TILE_ELEMS,
     CachedTileReader,
@@ -80,6 +81,13 @@ class KrylovBasis:
     tile_elems:
         Fused-kernel tile size in elements; rounded up to the storage
         format's decode granularity (FRSZ2: the block size ``BS``).
+    backend:
+        Kernel backend (``"numpy"``/``"jit"``) forwarded to the default
+        accessor construction — and, because :meth:`set_storage` reuses
+        the same construction hook, preserved across adaptive format
+        switches.  Custom ``accessor_factory``/``storage_factory``
+        callables own their accessor construction and are expected to
+        close over a backend themselves.
     """
 
     def __init__(
@@ -92,6 +100,7 @@ class KrylovBasis:
         basis_mode: str = "cached",
         tile_elems: int = DEFAULT_TILE_ELEMS,
         storage_factory: "Callable[[str, int], VectorAccessor] | None" = None,
+        backend: "str | None" = None,
     ) -> None:
         if m < 1:
             raise ValueError("restart length m must be positive")
@@ -112,11 +121,22 @@ class KrylovBasis:
         self.basis_mode = basis_mode
         self.tracer = tracer or NULL_TRACER
         self._storage_factory = storage_factory
+        self.backend = _dispatch.resolve_backend(backend)
         if accessor_factory is not None:
             self._make: "Callable[[str, int], VectorAccessor] | None" = None
             factory = accessor_factory
         else:
-            self._make = storage_factory or make_accessor
+            if storage_factory is not None:
+                self._make = storage_factory
+            else:
+                resolved = self.backend
+
+                def _make_default(fmt: str, size: int) -> VectorAccessor:
+                    return make_accessor(fmt, size, backend=resolved)
+
+                # set_storage rebuilds through this same hook, so the
+                # backend stays pinned across adaptive format switches
+                self._make = _make_default
             make = self._make
 
             def factory(size: int) -> VectorAccessor:

@@ -274,6 +274,7 @@ def solve_batch(
         basis = KrylovBasis(
             n, m, solver.storage, solver._factory, tracer=tracer,
             basis_mode=solver.basis_mode, tile_elems=solver.tile_elems,
+            backend=getattr(solver, "backend", None),
         )
         stats = SolveStats(
             n=n,

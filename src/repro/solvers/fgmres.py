@@ -31,6 +31,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..accessor import VectorAccessor
+from ..jit import dispatch as _dispatch
 from ..sparse.csr import CSRMatrix
 from ..fused import DEFAULT_TILE_ELEMS
 from .adaptive import (
@@ -99,6 +100,10 @@ class FlexibleGmres:
         ``"cached"`` or ``"streaming"`` for both bases.
     tile_elems : int, optional
         Tile size override for the shared tile grid.
+    backend : str, optional
+        Kernel backend (``"numpy"``/``"jit"``) for the SpMV and the Z
+        basis codec; bit-identical across backends (see
+        :mod:`repro.jit.dispatch`).
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class FlexibleGmres:
         precision: Optional[ControllerConfig] = None,
         basis_mode: str = "cached",
         tile_elems: Optional[int] = None,
+        backend: "str | None" = None,
     ) -> None:
         if a.shape[0] != a.shape[1]:
             raise ValueError("FGMRES requires a square matrix")
@@ -129,6 +135,9 @@ class FlexibleGmres:
                 "adaptive z_storage rebuilds accessors per format switch; "
                 "pass storage_factory instead of accessor_factory"
             )
+        self.backend = _dispatch.resolve_backend(backend)
+        if backend is not None and hasattr(a, "set_backend"):
+            a.set_backend(self.backend)
         self.a = a
         self.z_storage = z_storage
         self.m = int(m)
@@ -177,6 +186,7 @@ class FlexibleGmres:
             basis_mode=self.basis_mode,
             tile_elems=tile,
             storage_factory=self._storage_factory,
+            backend=self.backend,
         )
         stats = SolveStats(
             n=n,

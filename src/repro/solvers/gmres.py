@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..accessor import VectorAccessor
+from ..jit import dispatch as _dispatch
 from ..observe import NULL_TRACER
 from ..sparse.csr import CSRMatrix
 from ..sparse.engine import SPMV_FORMATS, SpmvEngine
@@ -277,6 +278,14 @@ class CbGmres:
         ``recovery_exhausted=True`` (callers such as
         :class:`repro.robust.RobustCbGmres` then escalate the storage
         format).
+    backend:
+        Kernel backend (``"numpy"``/``"jit"``, see
+        :mod:`repro.jit.dispatch`) threaded onto the SpMV kernels and
+        the basis accessors' codec.  The jit kernels are bit-identical
+        to numpy, so the solve trajectory is byte-equal across
+        backends; ``"jit"`` degrades to ``"numpy"`` with a
+        :class:`~repro.jit.dispatch.JitUnavailableWarning` when no
+        engine is available.
     """
 
     def __init__(
@@ -299,6 +308,7 @@ class CbGmres:
         tracer=None,
         precision: Optional[ControllerConfig] = None,
         storage_factory: "Callable[[str, int], VectorAccessor] | None" = None,
+        backend: "str | None" = None,
     ) -> None:
         if a.shape[0] != a.shape[1]:
             raise ValueError("GMRES requires a square matrix")
@@ -310,6 +320,9 @@ class CbGmres:
                 f"expected one of {SPMV_FORMATS}"
             )
         self.spmv_format = spmv_format
+        # resolve once so an unavailable-jit warning fires here, not
+        # again in every component the resolved name is threaded into
+        self.backend = _dispatch.resolve_backend(backend)
         if spmv_format != "csr" and not isinstance(a, SpmvEngine):
             if not isinstance(a, CSRMatrix):
                 raise ValueError(
@@ -318,7 +331,13 @@ class CbGmres:
                     f"{type(a).__name__} — wrap operator decorators around "
                     "an SpmvEngine instead"
                 )
-            a = SpmvEngine(a, format=spmv_format)
+            a = SpmvEngine(a, format=spmv_format, backend=self.backend)
+        elif backend is not None and hasattr(a, "set_backend"):
+            # a plain CSRMatrix or pre-built SpmvEngine: switch its
+            # kernels in place (bit-identical either way); operators
+            # without the knob (fault injectors, custom wrappers) keep
+            # whatever backend they were built with
+            a.set_backend(self.backend)
         self.a = a
         self.storage = storage
         self.m = int(m)
@@ -433,6 +452,7 @@ class CbGmres:
             basis_mode=self.basis_mode,
             tile_elems=self.tile_elems,
             storage_factory=self._storage_factory,
+            backend=self.backend,
         )
         stats = SolveStats(
             n=n,

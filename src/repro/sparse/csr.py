@@ -16,9 +16,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..jit import dispatch as _dispatch
 from ..observe import NULL_TRACER
 
 __all__ = ["CSRMatrix", "SpmvCounter"]
+
+
+@_dispatch.register("spmv.csr_matvec", "numpy")
+def csr_matvec_numpy(
+    rows: np.ndarray, cols: np.ndarray, data: np.ndarray, x: np.ndarray, m: int
+) -> np.ndarray:
+    """Reference CSR SpMV: gather + multiply + segmented sum.
+
+    ``np.bincount`` accumulates the products strictly sequentially in
+    stored-entry order, the order the jit kernel replays.
+    """
+    prod = data * x[cols]
+    return np.bincount(rows, weights=prod, minlength=m)
 
 
 @dataclass
@@ -69,8 +83,22 @@ class CSRMatrix:
         # expanded row index per stored entry: makes SpMV a bincount
         self._rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(self.indptr))
         self.counter = SpmvCounter()
+        #: kernel backend; see :meth:`set_backend`
+        self.backend = "numpy"
+        self._matvec_kernel = csr_matvec_numpy
         #: observe-layer tracer; the null tracer keeps matvec overhead-free
         self.tracer = NULL_TRACER
+
+    def set_backend(self, backend: "str | None") -> str:
+        """Select the SpMV kernel backend (``"numpy"`` or ``"jit"``).
+
+        The jit kernel is bit-identical to the numpy reference; an
+        unavailable jit engine degrades to numpy with a warning.
+        Returns the resolved backend.
+        """
+        self.backend = _dispatch.resolve_backend(backend)
+        self._matvec_kernel = _dispatch.get_kernel("spmv.csr_matvec", self.backend)
+        return self.backend
 
     # ------------------------------------------------------------------
 
@@ -89,8 +117,9 @@ class CSRMatrix:
         if x.shape != (self.shape[1],):
             raise ValueError(f"expected x of shape ({self.shape[1]},)")
         with self.tracer.span("csr.matvec"):
-            prod = self.data * x[self.indices]
-            y = np.bincount(self._rows, weights=prod, minlength=self.shape[0])
+            y = self._matvec_kernel(
+                self._rows, self.indices, self.data, x, self.shape[0]
+            )
         self._count_spmv()
         if out is not None:
             out[:] = y

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..jit import dispatch as _dispatch
 from ..observe import NULL_TRACER
 from .csr import CSRMatrix, SpmvCounter
 
@@ -43,6 +44,45 @@ __all__ = ["ELLMatrix"]
 #: the crossover where cache residency of the per-slot temporaries
 #: outweighs the extra NumPy call per padded slot
 _SLOTWISE_MIN_ROWS = 4096
+
+
+@_dispatch.register("spmv.ell_matvec", "numpy")
+def ell_matvec_numpy(
+    cols_t: np.ndarray,
+    vals_t: np.ndarray,
+    x: np.ndarray,
+    work: "np.ndarray | None",
+    out: "np.ndarray | None",
+) -> np.ndarray:
+    """Reference ELL SpMV over the transposed ``(width, m)`` layout.
+
+    Both strategies accumulate each row's entries sequentially in slot
+    (= CSR entry) order, so they are bit-identical to each other and to
+    the jit kernel.  ``_SLOTWISE_MIN_ROWS`` is read at call time so the
+    strategy crossover stays monkeypatchable.
+    """
+    width, m = cols_t.shape
+    if work is None:
+        work = np.empty_like(vals_t)
+    if width > 0 and m >= _SLOTWISE_MIN_ROWS:
+        # slot-wise: per-slot temporaries stay cache-resident
+        y = np.empty(m) if out is None else out
+        np.take(x, cols_t[0], out=y, mode="clip")
+        np.multiply(vals_t[0], y, out=y)
+        tmp = work[0]
+        for k in range(1, width):
+            np.take(x, cols_t[k], out=tmp, mode="clip")
+            np.multiply(vals_t[k], tmp, out=tmp)
+            np.add(y, tmp, out=y)
+        return y
+    # mode="clip" skips per-element bounds checking; the matrix
+    # constructor already validated every column index
+    np.take(x, cols_t, out=work, mode="clip")
+    np.multiply(vals_t, work, out=work)
+    # reducing over the outer axis accumulates sequentially in row-entry
+    # order (bit-identical to the CSR bincount path); an empty axis
+    # yields the additive identity, so width == 0 needs no special case
+    return np.add.reduce(work, axis=0, out=out)
 
 
 class ELLMatrix:
@@ -93,7 +133,16 @@ class ELLMatrix:
         self._work = np.empty_like(self.vals_t)
         self.counter = SpmvCounter()
         self.counter.format = self.format
+        #: kernel backend; see :meth:`set_backend`
+        self.backend = "numpy"
+        self._matvec_kernel = ell_matvec_numpy
         self.tracer = NULL_TRACER
+
+    def set_backend(self, backend: "str | None") -> str:
+        """Select the SpMV kernel backend (``"numpy"`` or ``"jit"``)."""
+        self.backend = _dispatch.resolve_backend(backend)
+        self._matvec_kernel = _dispatch.get_kernel("spmv.ell_matvec", self.backend)
+        return self.backend
 
     # ------------------------------------------------------------------
 
@@ -163,18 +212,9 @@ class ELLMatrix:
             # result is the intended propagation semantics — suppress the
             # RuntimeWarning, not the arithmetic
             with np.errstate(invalid="ignore"):
-                if self.width > 0 and self.shape[0] >= _SLOTWISE_MIN_ROWS:
-                    y = self._matvec_slotwise(x, out)
-                else:
-                    # mode="clip" skips per-element bounds checking; the
-                    # constructor already validated every column index
-                    np.take(x, self.cols_t, out=self._work, mode="clip")
-                    np.multiply(self.vals_t, self._work, out=self._work)
-                    # reducing over the outer axis accumulates sequentially
-                    # in row-entry order (bit-identical to the CSR bincount
-                    # path); an empty axis yields the additive identity, so
-                    # width == 0 needs no special case
-                    y = np.add.reduce(self._work, axis=0, out=out)
+                y = self._matvec_kernel(
+                    self.cols_t, self.vals_t, x, self._work, out
+                )
         self._count_spmv()
         return y
 
@@ -203,18 +243,6 @@ class ELLMatrix:
             else:
                 col[:] = self.matvec(np.ascontiguousarray(X[:, c]))
         return out
-
-    def _matvec_slotwise(self, x: np.ndarray, out: "np.ndarray | None") -> np.ndarray:
-        """Accumulate one padded slot at a time (same per-row order)."""
-        y = np.empty(self.shape[0]) if out is None else out
-        np.take(x, self.cols_t[0], out=y, mode="clip")
-        np.multiply(self.vals_t[0], y, out=y)
-        tmp = self._work[0]
-        for k in range(1, self.width):
-            np.take(x, self.cols_t[k], out=tmp, mode="clip")
-            np.multiply(self.vals_t[k], tmp, out=tmp)
-            np.add(y, tmp, out=y)
-        return y
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         """x = A.T @ y, vectorized (padding contributes exact zeros)."""

@@ -147,6 +147,9 @@ class SpmvEngine:
     slice_size, sigma : int
         SELL-C-σ construction parameters (see
         :class:`~repro.sparse.sell.SELLMatrix`).
+    backend : {"numpy", "jit"}, optional
+        Kernel backend applied to the wrapped CSR matrix *and* the
+        selected format's implementation (see :meth:`set_backend`).
 
     Notes
     -----
@@ -161,6 +164,7 @@ class SpmvEngine:
         format: str = "auto",
         slice_size: int = DEFAULT_SLICE_SIZE,
         sigma: int = DEFAULT_SIGMA,
+        backend: "str | None" = None,
     ) -> None:
         if not isinstance(a, CSRMatrix):
             raise TypeError(
@@ -183,6 +187,22 @@ class SpmvEngine:
             self.impl = SELLMatrix.from_csr(a, slice_size, sigma)
         else:
             self.impl = a
+        self.backend = self.set_backend(backend)
+
+    def set_backend(self, backend: "str | None") -> str:
+        """Select the SpMV kernel backend on the wrapped matrices.
+
+        Applies to both the source CSR matrix (``rmatvec`` and direct
+        CSR use) and the selected format implementation.  The jit
+        kernels are bit-identical to numpy, so switching backends never
+        changes a result bit.  Returns the resolved backend.
+        """
+        # resolve once on the CSR matrix, then pin the resolved name on
+        # the impl so an unavailable-jit warning fires at most once
+        self.backend = self.csr.set_backend(backend)
+        if self.impl is not self.csr:
+            self.impl.set_backend(self.backend)
+        return self.backend
 
     # -- operator interface -------------------------------------------
 

@@ -24,10 +24,34 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..jit import dispatch as _dispatch
 from ..observe import NULL_TRACER
 from .csr import CSRMatrix, SpmvCounter
 
 __all__ = ["SELLMatrix", "DEFAULT_SLICE_SIZE", "DEFAULT_SIGMA", "sell_padded_entries"]
+
+
+@_dispatch.register("spmv.sell_group_matvec", "numpy")
+def sell_group_matvec_numpy(
+    rows: np.ndarray,
+    cols_t: np.ndarray,
+    vals_t: np.ndarray,
+    x: np.ndarray,
+    work: "np.ndarray | None",
+    y: np.ndarray,
+) -> None:
+    """Reference SELL SpMV for one width group; writes ``y[rows]``.
+
+    ``np.add.reduce`` over the outer axis accumulates each row's slots
+    sequentially in CSR entry order — the order the jit kernel replays.
+    """
+    if work is None:
+        work = np.empty(cols_t.shape)
+    # mode="clip" skips per-element bounds checking; the matrix
+    # constructor already validated every column index
+    np.take(x, cols_t, out=work, mode="clip")
+    np.multiply(vals_t, work, out=work)
+    y[rows] = np.add.reduce(work, axis=0)
 
 #: GPU-warp-sized slices (Ginkgo's SELL-P default)
 DEFAULT_SLICE_SIZE = 32
@@ -134,7 +158,18 @@ class SELLMatrix:
         self.nnz_ = int(self.row_lengths.sum())
         self.counter = SpmvCounter()
         self.counter.format = self.format
+        #: kernel backend; see :meth:`set_backend`
+        self.backend = "numpy"
+        self._group_kernel = sell_group_matvec_numpy
         self.tracer = NULL_TRACER
+
+    def set_backend(self, backend: "str | None") -> str:
+        """Select the SpMV kernel backend (``"numpy"`` or ``"jit"``)."""
+        self.backend = _dispatch.resolve_backend(backend)
+        self._group_kernel = _dispatch.get_kernel(
+            "spmv.sell_group_matvec", self.backend
+        )
+        return self.backend
 
     # ------------------------------------------------------------------
 
@@ -253,11 +288,7 @@ class SELLMatrix:
             # warning — not the arithmetic — is suppressed here
             with np.errstate(invalid="ignore"):
                 for rows, cols_t, vals_t, work in self._groups:
-                    # mode="clip" skips per-element bounds checking; the
-                    # constructor already validated every column index
-                    np.take(x, cols_t, out=work, mode="clip")
-                    np.multiply(vals_t, work, out=work)
-                    y[rows] = np.add.reduce(work, axis=0)
+                    self._group_kernel(rows, cols_t, vals_t, x, work, y)
         self._count_spmv()
         return y
 
@@ -279,6 +310,23 @@ class SELLMatrix:
             out = np.empty((self.shape[0], k), order="F")
         elif out.shape != (self.shape[0], k):
             raise ValueError(f"out must have shape ({self.shape[0]}, {k})")
+        if self.backend == "jit":
+            # the compiled group kernel has no cross-column temporaries,
+            # so a per-column sweep is already optimal — and trivially
+            # bit-identical to matvec of each column
+            with self.tracer.span("sell.matmat", columns=k):
+                out[...] = 0.0
+                for c in range(k):
+                    col = out[:, c]
+                    y = col if col.flags.c_contiguous else np.zeros(self.shape[0])
+                    xc = np.ascontiguousarray(X[:, c])
+                    for rows, cols_t, vals_t, work in self._groups:
+                        self._group_kernel(rows, cols_t, vals_t, xc, work, y)
+                    if y is not col:
+                        col[:] = y
+            for _ in range(k):
+                self._count_spmv()
+            return out
         with self.tracer.span("sell.matmat", columns=k):
             out[...] = 0.0
             # gather from a C-contiguous copy so each gathered row is

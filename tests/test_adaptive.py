@@ -18,6 +18,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.jit import dispatch as jit_dispatch
 from repro.robust import (
     FallbackPolicy,
     RobustCbGmres,
@@ -264,6 +265,37 @@ class TestMixedStorageBasis:
             outs.append((basis.dot_basis(3, w), basis.combine(3, np.ones(3))))
         np.testing.assert_array_equal(outs[0][0], outs[1][0])
         np.testing.assert_array_equal(outs[0][1], outs[1][1])
+
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            "numpy",
+            pytest.param("jit", marks=pytest.mark.skipif(
+                not jit_dispatch.jit_available(),
+                reason="jit engine unavailable",
+            )),
+        ],
+    )
+    def test_mixed_slots_bit_identical_across_backends(self, backend):
+        # set_storage rebuilds accessors through the basis' default
+        # factory, which must keep the construction-time backend pinned
+        # — a rebuilt slot silently dropping to numpy would go unnoticed
+        # (bit-identical!) but forfeit the jit speedup, and a backend
+        # mismatch in kernels would break these exact comparisons
+        rng = np.random.default_rng(23)
+        vecs = rng.standard_normal((320, 3))
+        w = rng.standard_normal(320)
+        outs = {}
+        for b in ("numpy", backend):
+            basis = KrylovBasis(320, 2, "frsz2_32", backend=b)
+            basis.set_storage("frsz2_16", slots=[0])
+            basis.set_storage("float64", slots=[2])
+            assert basis.backend == b
+            for j in range(3):
+                basis.write_vector(j, vecs[:, j])
+            outs[b] = (basis.dot_basis(3, w), basis.combine(3, np.ones(3)))
+        np.testing.assert_array_equal(outs["numpy"][0], outs[backend][0])
+        np.testing.assert_array_equal(outs["numpy"][1], outs[backend][1])
 
     def test_set_storage_rejects_fixed_factory(self):
         from repro.accessor import make_accessor

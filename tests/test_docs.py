@@ -40,8 +40,14 @@ REQUIRED_PAGES = {
         "## Mixed-storage bases",
         "## Worked example",
     ),
-    "docs/ARCHITECTURE.md": ("Adaptive precision data flow",),
-    "docs/EXPERIMENTS.md": ("--storage adaptive",),
+    "docs/ARCHITECTURE.md": (
+        "Adaptive precision data flow",
+        "## Kernel dispatch: the numpy and jit backends",
+    ),
+    "docs/EXPERIMENTS.md": (
+        "--storage adaptive",
+        "### `--backend` — numpy vs jit-compiled kernels",
+    ),
 }
 
 #: page -> markdown files that must link to it

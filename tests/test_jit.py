@@ -1,0 +1,273 @@
+"""Cross-backend bit-identity suite for the jit kernel backend.
+
+The ``backend={numpy,jit}`` switch is only sound because every jit
+kernel replays the numpy reference's arithmetic exactly — same
+accumulation order, same rounding, no FMA contraction.  This suite
+pins that contract at every layer: raw bitpack fields, codec
+round-trips, SpMV formats, fused cached/streaming solves and full
+``CbGmres.solve``/``solve_batch`` runs must all be *byte*-equal across
+backends.  When no jit engine is available (no numba, no C compiler)
+the jit half skips with the engine's own failure reason.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accessor import make_accessor
+from repro.core.frsz2 import FRSZ2
+from repro.jit import dispatch
+from repro.solvers import CbGmres, make_problem
+from repro.sparse import build_matrix
+from repro.sparse.engine import SPMV_FORMATS, SpmvEngine
+
+requires_jit = pytest.mark.skipif(
+    not dispatch.jit_available(),
+    reason=f"jit engine unavailable: {dispatch.jit_unavailable_reason()}",
+)
+
+#: the standard cross-backend axis: numpy always runs, jit skips with
+#: the engine's own failure reason when no engine compiles
+BACKENDS = [
+    pytest.param("numpy", id="numpy"),
+    pytest.param("jit", id="jit", marks=requires_jit),
+]
+
+
+# ----------------------------------------------------------------------
+# dispatch registry / resolution
+# ----------------------------------------------------------------------
+
+
+class TestDispatch:
+    def test_resolve_none_is_numpy(self):
+        assert dispatch.resolve_backend(None) == "numpy"
+        assert dispatch.resolve_backend("numpy") == "numpy"
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            dispatch.resolve_backend("cuda")
+
+    def test_unknown_kernel_name_raises(self):
+        with pytest.raises(KeyError, match="no kernel"):
+            dispatch.get_kernel("no.such.kernel", "numpy")
+
+    def test_register_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            dispatch.register_kernel("x", "cuda", lambda: None)
+
+    def test_numpy_registry_covers_hot_kernels(self):
+        names = set(dispatch.registered_kernels("numpy"))
+        assert {
+            "bitpack.pack_at", "bitpack.unpack_at",
+            "frsz2.encode_fields", "frsz2.decode_fields",
+            "frsz2.pack_stream", "frsz2.decode_stream",
+            "frsz2.decode_gather",
+            "spmv.csr_matvec", "spmv.ell_matvec", "spmv.sell_group_matvec",
+            "fused.dot_basis", "fused.combine", "fused.axpy", "fused.norm",
+            "fused.dot_basis_batch", "fused.axpy_batch",
+        } <= names
+
+    def test_unavailable_jit_degrades_with_named_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_DISABLE", "1")
+        dispatch._reset_engine_cache()
+        try:
+            with pytest.warns(dispatch.JitUnavailableWarning,
+                              match="REPRO_JIT_DISABLE"):
+                assert dispatch.resolve_backend("jit") == "numpy"
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert dispatch.resolve_backend("jit", warn=False) == "numpy"
+            with pytest.raises(dispatch.JitUnavailableError):
+                dispatch.get_kernel("frsz2.encode_fields", "jit")
+        finally:
+            monkeypatch.delenv("REPRO_JIT_DISABLE")
+            dispatch._reset_engine_cache()
+
+    @requires_jit
+    def test_jit_registry_mirrors_numpy(self):
+        dispatch.get_kernel("frsz2.encode_fields", "jit")  # force load
+        assert dispatch.registered_kernels("jit") == \
+            dispatch.registered_kernels("numpy")
+        assert dispatch.jit_engine_name() in ("numba", "cffi")
+        assert dispatch.jit_unavailable_reason() is None
+
+
+# ----------------------------------------------------------------------
+# codec round-trips
+# ----------------------------------------------------------------------
+
+
+def _sample(n=1537, seed=3):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n) * np.exp(rng.uniform(-40, 40, n))
+    x[:5] = [0.0, -0.0, 1.0, -1.0, 2.0 ** -300]
+    return x
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCodecBitIdentity:
+    # 16/32/64 exercise the aligned layouts, 21/13 the straddling
+    # word-stream path, 52 a straddling width with a >32-bit field
+    @pytest.mark.parametrize("bit_length", [13, 16, 21, 32, 52, 64])
+    @pytest.mark.parametrize("rounding", [False, True])
+    def test_roundtrip_matches_numpy(self, backend, bit_length, rounding):
+        x = _sample()
+        ref = FRSZ2(bit_length=bit_length, rounding=rounding)
+        alt = FRSZ2(bit_length=bit_length, rounding=rounding, backend=backend)
+        assert alt.backend == backend
+        c_ref, c_alt = ref.compress(x), alt.compress(x)
+        np.testing.assert_array_equal(c_ref.exponents, c_alt.exponents)
+        np.testing.assert_array_equal(c_ref.payload, c_alt.payload)
+        np.testing.assert_array_equal(
+            ref.decompress(c_ref), alt.decompress(c_alt)
+        )
+
+    def test_gather_and_block_paths_match_numpy(self, backend):
+        x = _sample(1000, seed=9)
+        ref = FRSZ2(bit_length=21)
+        alt = FRSZ2(bit_length=21, backend=backend)
+        c_ref, c_alt = ref.compress(x), alt.compress(x)
+        idx = np.array([0, 7, 999, 511, 7])
+        np.testing.assert_array_equal(ref.get(c_ref, idx), alt.get(c_alt, idx))
+        blocks = [0, 3, c_ref.layout.num_blocks - 1, 3]
+        for a, b in zip(ref.decompress_blocks(c_ref, blocks),
+                        alt.decompress_blocks(c_alt, blocks)):
+            np.testing.assert_array_equal(a, b)
+        comps_ref = [ref.compress(_sample(1000, seed=s)) for s in (1, 2, 3)]
+        comps_alt = [alt.compress(_sample(1000, seed=s)) for s in (1, 2, 3)]
+        for a, b in zip(ref.decompress_blocks_batch(comps_ref, blocks),
+                        alt.decompress_blocks_batch(comps_alt, blocks)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_accessor_write_read_matches_numpy(self, backend):
+        x = _sample(777, seed=5)
+        ref = make_accessor("frsz2_21", 777)
+        alt = make_accessor("frsz2_21", 777, backend=backend)
+        ref.write(x)
+        alt.write(x)
+        np.testing.assert_array_equal(ref.read(), alt.read())
+
+
+# ----------------------------------------------------------------------
+# SpMV formats
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("fmt", sorted(SPMV_FORMATS))
+class TestSpmvBitIdentity:
+    def test_matvec_and_matmat_match_numpy(self, backend, fmt):
+        a = build_matrix("atmosmodd", "smoke")
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(a.shape[1])
+        X = rng.standard_normal((a.shape[1], 3))
+        ref = SpmvEngine(a, format=fmt, backend="numpy")
+        alt = SpmvEngine(a, format=fmt, backend=backend)
+        np.testing.assert_array_equal(ref.matvec(x), alt.matvec(x))
+        np.testing.assert_array_equal(ref.matmat(X), alt.matmat(X))
+
+
+# ----------------------------------------------------------------------
+# fused modes and full solves
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem("lung2", "smoke")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSolveBitIdentity:
+    @pytest.mark.parametrize("basis_mode", ["cached", "streaming"])
+    def test_fused_solve_matches_numpy(self, problem, backend, basis_mode):
+        def run(b):
+            return CbGmres(
+                problem.a, "frsz2_21", m=30, max_iter=300,
+                spmv_format="sell", basis_mode=basis_mode, backend=b,
+            ).solve(problem.b, problem.target_rrn)
+
+        ref, alt = run("numpy"), run(backend)
+        assert np.array_equal(ref.x, alt.x)
+        assert ref.iterations == alt.iterations
+        assert [(s.iteration, s.rrn) for s in ref.history] == \
+            [(s.iteration, s.rrn) for s in alt.history]
+
+    @pytest.mark.parametrize("storage", ["float64", "frsz2_32", "adaptive"])
+    def test_storages_match_numpy(self, problem, backend, storage):
+        def run(b):
+            return CbGmres(
+                problem.a, storage, m=30, max_iter=400, backend=b
+            ).solve(problem.b, problem.target_rrn)
+
+        ref, alt = run("numpy"), run(backend)
+        assert np.array_equal(ref.x, alt.x)
+        assert ref.iterations == alt.iterations
+        assert ref.final_rrn == alt.final_rrn
+
+    def test_solve_batch_matches_numpy(self, problem, backend):
+        rng = np.random.default_rng(17)
+        B = np.stack(
+            [problem.a.matvec(rng.standard_normal(problem.a.shape[1]))
+             for _ in range(3)],
+            axis=1,
+        )
+
+        def run(b):
+            return CbGmres(
+                problem.a, "frsz2_32", m=30, max_iter=400, backend=b
+            ).solve_batch(B, problem.target_rrn)
+
+        ref, alt = run("numpy"), run(backend)
+        for r, a in zip(ref, alt):
+            assert np.array_equal(r.x, a.x)
+            assert r.iterations == a.iterations
+            assert r.final_rrn == a.final_rrn
+
+
+# ----------------------------------------------------------------------
+# bitpack fuzz: width/straddle edges
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def field_streams(draw):
+    """A field stream hitting word-straddle edges: random widths in
+    [1, 64] at a random starting bit offset, so fields land aligned,
+    word-interior and straddling one or two uint32 boundaries."""
+    widths = draw(st.lists(st.integers(1, 64), min_size=1, max_size=24))
+    fields = [
+        draw(st.integers(0, (1 << w) - 1)) for w in widths
+    ]
+    start = draw(st.integers(0, 31))
+    return widths, fields, start
+
+
+@requires_jit
+@settings(max_examples=60, deadline=None)
+@given(field_streams())
+def test_bitpack_fuzz_jit_matches_numpy(stream):
+    widths, fields, start = stream
+    widths = np.asarray(widths, dtype=np.int64)
+    fields_arr = np.asarray(fields, dtype=np.uint64)
+    bitpos = start + np.concatenate(
+        ([0], np.cumsum(widths[:-1], dtype=np.int64))
+    )
+    nwords = int((bitpos[-1] + widths[-1] + 31) // 32)
+    packs = {}
+    unpacks = {}
+    for backend in ("numpy", "jit"):
+        pack = dispatch.get_kernel("bitpack.pack_at", backend)
+        unpack = dispatch.get_kernel("bitpack.unpack_at", backend)
+        words = np.zeros(nwords, dtype=np.uint32)
+        pack(words, bitpos, fields_arr, widths)
+        packs[backend] = words
+        unpacks[backend] = unpack(words, bitpos, widths)
+    np.testing.assert_array_equal(packs["numpy"], packs["jit"])
+    np.testing.assert_array_equal(unpacks["numpy"], unpacks["jit"])
+    # both backends must also round-trip the original fields
+    np.testing.assert_array_equal(unpacks["numpy"], fields_arr)

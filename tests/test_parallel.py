@@ -173,10 +173,21 @@ def _strip_nondeterministic(doc):
     """Drop the host-time fields a parallel run is allowed to change."""
     doc = dict(doc)
     doc.pop("created", None)
+    doc["backend"] = {
+        k: v
+        for k, v in doc["backend"].items()
+        if k != "codec_speedup_geomean"
+    }
     entries = []
     for entry in doc["entries"]:
         entry = dict(entry)
         entry.pop("wall_seconds", None)
+        entry["backend"] = {
+            k: v
+            for k, v in entry["backend"].items()
+            if k not in ("codec_wall_seconds", "numpy_codec_wall_seconds",
+                         "speedup_vs_numpy")
+        }
         entry["spmv"] = {
             k: v
             for k, v in entry["spmv"].items()
