@@ -56,6 +56,8 @@ _SCALES = ["smoke", "default", "paper"]
 _SPMV_CHOICES = ["auto", "csr", "ell", "sell"]
 _BASIS_MODES = ["cached", "streaming"]
 _BACKENDS = ["numpy", "jit"]
+_PRECONDITIONERS = ["none", "jacobi", "block_jacobi", "ilu0"]
+_PREC_STORAGES = ["float64", "float32", "frsz2_32", "frsz2_16"]
 
 #: single source of truth for options shared across subcommands.
 #: ``build_parser`` registers each subcommand's flags from this table
@@ -100,6 +102,18 @@ SHARED_OPTIONS: "Dict[str, Dict[str, Any]]" = {
              "warning when no engine is available — install the [jit] "
              "extra or a C compiler)",
     ),
+    "preconditioner": dict(
+        default="none", choices=_PRECONDITIONERS,
+        help="right preconditioner built from the operator: jacobi "
+             "(diagonal), block_jacobi (inverted diagonal blocks), "
+             "ilu0 (incomplete LU on the sparsity pattern)",
+    ),
+    "prec-storage": dict(
+        default="float64", choices=_PREC_STORAGES,
+        help="storage rung for the preconditioner's factor values "
+             "(frsz2_* store compressed and decode per apply, "
+             "like the Krylov basis)",
+    ),
 }
 
 #: which shared options each subcommand takes, with the per-command
@@ -114,6 +128,8 @@ SHARED_BY_COMMAND: "Dict[str, Dict[str, Dict[str, Any]]]" = {
         "spmv-format": dict(default="auto"),
         "basis-mode": {},
         "backend": {},
+        "preconditioner": {},
+        "prec-storage": {},
     },
     "experiment": {"scale": {}},
     "calibrate": {"scale": {}, "max-iter": {}},
@@ -134,6 +150,12 @@ SHARED_BY_COMMAND: "Dict[str, Dict[str, Dict[str, Any]]]" = {
         ),
         "basis-mode": {},
         "backend": {},
+        "preconditioner": dict(
+            help="right preconditioner for every campaign cell "
+                 "(factored from the raw operator; faults never "
+                 "corrupt the factorization)",
+        ),
+        "prec-storage": {},
     },
     "bench": {
         "storages": dict(
@@ -159,6 +181,12 @@ SHARED_BY_COMMAND: "Dict[str, Dict[str, Dict[str, Any]]]" = {
                  "per-entry basis block always compares both modes)",
         ),
         "backend": {},
+        "preconditioner": dict(
+            help="right preconditioner for every grid cell (the "
+                 "default 'none' with the default matrix grid also "
+                 "appends the preconditioned tier entries)",
+        ),
+        "prec-storage": {},
     },
     "throughput": {
         "storages": dict(
@@ -185,6 +213,11 @@ SHARED_BY_COMMAND: "Dict[str, Dict[str, Dict[str, Any]]]" = {
         "spmv-format": {},
         "basis-mode": {},
         "backend": {},
+        "preconditioner": dict(
+            help="right preconditioner applied worker-side to every "
+                 "job (part of the batch-coalescing key)",
+        ),
+        "prec-storage": {},
     },
 }
 
@@ -249,17 +282,31 @@ def _cmd_list(args) -> int:
 
 def _cmd_solve(args) -> int:
     from .gpu import GmresTimingModel
-    from .solvers import CbGmres, FlexibleGmres, JacobiPreconditioner, make_problem
+    from .solvers import CbGmres, FlexibleGmres, make_preconditioner, make_problem
     from .sparse import SpmvEngine
 
     from .jit import dispatch as _dispatch
 
     p = make_problem(args.matrix, args.scale)
     target = args.target if args.target is not None else p.target_rrn
-    prec = JacobiPreconditioner(p.a) if args.jacobi else None
     # resolve once so an unavailable-jit warning prints a single time,
     # not once from the engine and again from the solver
     backend = _dispatch.resolve_backend(args.backend)
+    prec_name = args.preconditioner
+    if args.jacobi and prec_name == "none":
+        prec_name = "jacobi"  # deprecated alias
+    prec = None
+    if prec_name != "none":
+        prec = make_preconditioner(
+            prec_name, p.a, storage=args.prec_storage, backend=backend
+        )
+        info = prec.cost_info()
+        print(f"preconditioner: {prec_name} ({args.prec_storage} factors, "
+              f"{info['stored_bytes']} bytes stored"
+              + (f", {1 - info['stored_bytes'] / info['float64_bytes']:.0%} "
+                 f"below float64" if info["stored_bytes"] < info["float64_bytes"]
+                 else "")
+              + ")")
     a = p.a
     if args.spmv_format != "csr":
         a = SpmvEngine(a, format=args.spmv_format, backend=backend)
@@ -421,6 +468,8 @@ def _cmd_faults(args) -> int:
             spmv_format=args.spmv_format,
             basis_mode=args.basis_mode,
             backend=args.backend,
+            preconditioner=args.preconditioner,
+            prec_storage=args.prec_storage,
         )
     except (KeyError, ValueError, WorkerCrashError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -481,6 +530,8 @@ def _cmd_bench(args) -> int:
             spmv_format=args.spmv_format,
             basis_mode=args.basis_mode,
             backend=args.backend,
+            preconditioner=args.preconditioner,
+            prec_storage=args.prec_storage,
         )
     except (KeyError, ValueError, WorkerCrashError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -489,10 +540,12 @@ def _cmd_bench(args) -> int:
     rows = []
     for e in doc["entries"]:
         total = e["modeled_seconds"] or 1.0
+        prec = e.get("preconditioner")
         rows.append(
             (
                 e["matrix"],
                 e["storage"],
+                prec["name"] if prec else "-",
                 "yes" if e["converged"] else "no",
                 e["iterations"],
                 e["spmv"]["format"],
@@ -507,7 +560,7 @@ def _cmd_bench(args) -> int:
         )
     print(format_table(
         f"bench grid ({doc['scale']} scale, modeled on {doc['device']})",
-        ["matrix", "storage", "conv", "iters", "spmv", "spmv x",
+        ["matrix", "storage", "prec", "conv", "iters", "spmv", "spmv x",
          "wall ms", "model ms"]
         + [f"{p}%" for p in BENCH_PHASES],
         rows,
@@ -633,6 +686,8 @@ def _cmd_serve(args) -> int:
                 spmv_format=args.spmv_format,
                 basis_mode=args.basis_mode,
                 backend=args.backend,
+                preconditioner=args.preconditioner,
+                prec_storage=args.prec_storage,
                 deadline_s=args.deadline,
                 progress_every=args.progress_every,
                 chaos=chaos,
@@ -761,7 +816,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_command("solve", "run CB-GMRES on a suite matrix")
     p.add_argument("matrix")
     p.add_argument("--target", type=float, default=None)
-    p.add_argument("--jacobi", action="store_true", help="apply a Jacobi preconditioner")
+    p.add_argument("--jacobi", action="store_true",
+                   help="deprecated alias for --preconditioner jacobi")
     p.add_argument("--solver", default="cb", choices=["cb", "fgmres"],
                    help="cb = CB-GMRES (compress V); fgmres = ref [17] (compress Z)")
     _add_shared(p, "solve")

@@ -9,8 +9,9 @@ CB-GMRES solver and merges two views of every solve:
   (:meth:`repro.gpu.timing.GmresTimingModel.phase_times`), the quantity
   the paper's Fig. 11 argues about.
 
-The merged per-phase attribution (``spmv`` / ``orthogonalize`` /
-``basis_read`` / ``basis_write`` / ``update`` / ``other``) is emitted as
+The merged per-phase attribution (``spmv`` / ``preconditioner`` /
+``orthogonalize`` / ``basis_read`` / ``basis_write`` / ``update`` /
+``other``) is emitted as
 a schema-versioned ``BENCH_gmres.json`` so successive commits leave a
 comparable perf trajectory; ``compare_bench`` diffs two such files and
 flags regressions beyond a tolerance (convergence lost, iteration-count
@@ -36,6 +37,11 @@ from ..parallel import run_grid
 from ..solvers.adaptive import ADAPTIVE_STORAGE
 from ..solvers.basis import BASIS_MODES
 from ..solvers.gmres import CbGmres
+from ..solvers.preconditioner import (
+    PRECONDITIONERS,
+    PREC_STORAGES,
+    make_preconditioner,
+)
 from ..solvers.problems import make_problem
 from ..sparse.engine import SPMV_FORMATS
 from ..sparse.suite import resolve_scale, suite_names
@@ -47,6 +53,7 @@ __all__ = [
     "BENCH_BASIS_MODES",
     "DEFAULT_BENCH_STORAGES",
     "DEFAULT_BENCH_MATRICES",
+    "DEFAULT_PREC_TIER",
     "PRECISION_BASELINE_STORAGE",
     "Regression",
     "run_bench_entry",
@@ -73,11 +80,20 @@ BENCH_SCHEMA = "repro.bench.gmres"
 #: on codec-bound (frsz2_*) entries, and an in-bench full-solve
 #: jit-vs-numpy bit-identity gate that refuses to emit on divergence;
 #: every entry is preceded by an untimed warm-up solve so jit compile
-#: and first-round cold caches never pollute the timed regions)
-BENCH_SCHEMA_VERSION = 5
+#: and first-round cold caches never pollute the timed regions;
+#: v6: preconditioning tier — ``preconditioner`` joins the phase keys,
+#: the document records the grid's ``preconditioner``/``prec_storage``,
+#: preconditioned entries carry a ``preconditioner`` block (setup
+#: seconds, apply count, stored-preconditioner bytes vs float64, and
+#: iteration ratio / wall speedup against an untraced unpreconditioned
+#: companion solve), and the default grid appends a preconditioned
+#: tier: ILU(0) on the two stalling stencil scenarios plus a
+#: frsz2_16-compressed block-Jacobi entry)
+BENCH_SCHEMA_VERSION = 6
 #: per-phase attribution keys (observe span names + the remainder)
 BENCH_PHASES = (
     "spmv",
+    "preconditioner",
     "orthogonalize",
     "basis_read",
     "basis_write",
@@ -93,6 +109,17 @@ DEFAULT_BENCH_STORAGES = ("float64", "float32", "frsz2_32", "adaptive")
 PRECISION_BASELINE_STORAGE = "frsz2_32"
 #: small-but-varied default matrix grid (fast at smoke scale)
 DEFAULT_BENCH_MATRICES = ("atmosmodd", "cfd2", "lung2")
+#: (matrix, storage, preconditioner, prec_storage) cells appended to the
+#: default grid (schema v6): ILU(0) on the two scenario stencils where
+#: unpreconditioned CB-GMRES stalls at the iteration cap, plus
+#: compressed block-Jacobi storage on a Table I matrix — together the
+#: preconditioned perf trajectory the CI gate tracks
+DEFAULT_PREC_TIER = (
+    ("aniso_jump", "frsz2_32", "ilu0", "float64"),
+    ("conv_dom", "frsz2_32", "ilu0", "float64"),
+    ("bem_dense", "frsz2_32", "ilu0", "float64"),
+    ("lung2", "frsz2_32", "block_jacobi", "frsz2_16"),
+)
 
 _ENTRY_SCALARS = {
     "matrix": str,
@@ -167,6 +194,8 @@ def run_bench_entry(
     spmv_format: str = "auto",
     basis_mode: str = "cached",
     backend: str = "numpy",
+    preconditioner: str = "none",
+    prec_storage: str = "float64",
 ) -> dict:
     """Run one traced solve and return its bench entry.
 
@@ -202,6 +231,18 @@ def run_bench_entry(
         records the resolved backend, the jit engine name, and (for
         frsz2_* storages) the codec write+read microbench with its
         ``speedup_vs_numpy``.
+    preconditioner : str, default "none"
+        Right preconditioner applied to every solve in the entry
+        (``none``/``jacobi``/``block_jacobi``/``ilu0``).  Preconditioned
+        entries additionally run an untraced *unpreconditioned*
+        companion solve and carry a ``preconditioner`` block: setup
+        seconds, apply count, stored-preconditioner bytes vs float64,
+        and the iteration ratio / wall speedup against that companion.
+    prec_storage : str, default "float64"
+        Storage rung for the preconditioner's factor values
+        (``float64``/``float32``/``frsz2_32``/``frsz2_16``); decoded
+        per apply, so compression trades preconditioner memory traffic
+        against decode work exactly like the Krylov basis does.
 
     Returns
     -------
@@ -216,10 +257,32 @@ def run_bench_entry(
         raise ValueError(
             f"unknown basis_mode {basis_mode!r}; expected one of {BASIS_MODES}"
         )
+    if preconditioner not in PRECONDITIONERS:
+        raise ValueError(
+            f"unknown preconditioner {preconditioner!r}; "
+            f"expected one of {PRECONDITIONERS}"
+        )
+    if prec_storage not in PREC_STORAGES:
+        raise ValueError(
+            f"unknown prec_storage {prec_storage!r}; "
+            f"expected one of {PREC_STORAGES}"
+        )
     requested_backend = str(backend)
     backend = _dispatch.resolve_backend(backend)
     engine_name = _dispatch.jit_engine_name() if backend == "jit" else None
     problem = make_problem(matrix, scale, target_rrn=target_rrn)
+    # the preconditioner is factored once from the raw CSR operator and
+    # shared by every solve in the entry; setup is timed directly (it
+    # happens before the tracer exists) and reported in the entry's
+    # ``preconditioner`` block rather than inside wall_total
+    prec = None
+    prec_setup_seconds = 0.0
+    if preconditioner != "none":
+        pt0 = time.perf_counter()
+        prec = make_preconditioner(
+            preconditioner, problem.a, storage=prec_storage, backend=backend,
+        )
+        prec_setup_seconds = time.perf_counter() - pt0
     # untimed warm-up pass (schema v5): a single-restart solve touches
     # every kernel family first, so the jit engine's one-time compile
     # and the numpy path's first-round cold caches are paid here, never
@@ -227,23 +290,40 @@ def run_bench_entry(
     CbGmres(
         problem.a, storage, m=m, max_iter=m,
         spmv_format=spmv_format, basis_mode=basis_mode, backend=backend,
+        preconditioner=prec,
     ).solve(problem.b, problem.target_rrn)
     tracer = Tracer()
-    problem.a.tracer = tracer
+
+    # the operator and the preconditioner are shared across the traced
+    # solve and several untraced companions; these toggles keep their
+    # spans/counters scoped to the traced solve only
+    def _untrace() -> None:
+        problem.a.tracer = NULL_TRACER
+        if prec is not None:
+            prec.tracer = NULL_TRACER
+
+    def _retrace() -> None:
+        problem.a.tracer = tracer
+        if prec is not None:
+            prec.tracer = tracer
+
+    _retrace()
     solver = CbGmres(
         problem.a, storage, m=m, max_iter=max_iter,
         spmv_format=spmv_format, basis_mode=basis_mode, tracer=tracer,
-        backend=backend,
+        backend=backend, preconditioner=prec,
     )
     t0 = time.perf_counter()
     result = solver.solve(problem.b, problem.target_rrn)
     wall_total = time.perf_counter() - t0
 
     # observed wall seconds per phase; orthogonalize/update report time
-    # *exclusive* of the basis reads nested inside them, so the six
-    # phases partition the solve without double counting
+    # *exclusive* of the basis reads nested inside them, and the
+    # preconditioner applies sit outside the other phase spans, so the
+    # seven phases partition the solve without double counting
     wall = {
         "spmv": tracer.total_seconds("spmv"),
+        "preconditioner": tracer.total_seconds("prec.apply"),
         "basis_read": tracer.total_seconds("basis_read"),
         "basis_write": tracer.total_seconds("basis_write"),
         "orthogonalize": tracer.total_seconds("orthogonalize")
@@ -253,7 +333,10 @@ def run_bench_entry(
     }
     wall["other"] = max(wall_total - sum(wall.values()), 0.0)
 
-    modeled = GmresTimingModel(device).phase_times(result.stats, storage)
+    modeled = GmresTimingModel(device).phase_times(
+        result.stats, storage,
+        prec_info=prec.cost_info() if prec is not None else None,
+    )
 
     # surface the decoded-block cache's hit rate whenever the storage
     # format performed any cache lookups (zero keys would otherwise be
@@ -273,7 +356,7 @@ def run_bench_entry(
     engine = solver.a
     resolved = getattr(engine, "resolved_format", "csr")
     padding_ratio = float(getattr(engine, "padding_ratio", 1.0))
-    problem.a.tracer = NULL_TRACER
+    _untrace()
     try:
         if engine is problem.a or getattr(engine, "impl", None) is problem.a:
             spmv_wall = csr_wall = _spmv_wall_seconds(problem.a, problem.b)
@@ -283,7 +366,7 @@ def run_bench_entry(
             csr_wall = _spmv_wall_seconds(problem.a, problem.b)
             speedup = csr_wall / spmv_wall if spmv_wall > 0 else 1.0
     finally:
-        problem.a.tracer = tracer
+        _retrace()
     tracer.counters["spmv.padding_ratio"] = padding_ratio
 
     # per-mode comparison: run both basis modes untraced (spans would
@@ -292,12 +375,12 @@ def run_bench_entry(
     # exact equality — the determinism contract of the fused kernels
     mode_blocks: Dict[str, dict] = {}
     mode_results: Dict[str, object] = {}
-    problem.a.tracer = NULL_TRACER
+    _untrace()
     try:
         for mode in BENCH_BASIS_MODES:
             mode_solver = CbGmres(
                 engine, storage, m=m, max_iter=max_iter, basis_mode=mode,
-                backend=backend,
+                backend=backend, preconditioner=prec,
             )
             mt0 = time.perf_counter()
             mode_result = mode_solver.solve(problem.b, problem.target_rrn)
@@ -309,7 +392,7 @@ def run_bench_entry(
             }
             mode_results[mode] = mode_result
     finally:
-        problem.a.tracer = tracer
+        _retrace()
     rc, rs = mode_results["cached"], mode_results["streaming"]
     bit_identical = bool(
         rc.iterations == rs.iterations
@@ -325,14 +408,14 @@ def run_bench_entry(
     precision_block: Optional[dict] = None
     if storage == ADAPTIVE_STORAGE:
         model = GmresTimingModel(device)
-        problem.a.tracer = NULL_TRACER
+        _untrace()
         try:
             fixed = CbGmres(
                 engine, PRECISION_BASELINE_STORAGE, m=m, max_iter=max_iter,
-                basis_mode=basis_mode, backend=backend,
+                basis_mode=basis_mode, backend=backend, preconditioner=prec,
             ).solve(problem.b, problem.target_rrn)
         finally:
-            problem.a.tracer = tracer
+            _retrace()
         adaptive_bytes = model.basis_bytes_moved(result.stats, storage)
         fixed_bytes = model.basis_bytes_moved(
             fixed.stats, PRECISION_BASELINE_STORAGE
@@ -374,21 +457,72 @@ def run_bench_entry(
             "baseline_converged": bool(fixed.converged),
         }
 
+    # preconditioned entries measure their payoff against an untraced
+    # *unpreconditioned* companion on the same operator: the iteration
+    # ratio (the convergence win) and the wall speedup (whether the win
+    # survives the per-iteration apply cost).  Runs before the backend
+    # gate below, which flips the shared engine's kernels to numpy.
+    prec_block: Optional[dict] = None
+    if prec is not None:
+        _untrace()
+        try:
+            bt0 = time.perf_counter()
+            base = CbGmres(
+                engine, storage, m=m, max_iter=max_iter,
+                basis_mode=basis_mode, backend=backend,
+            ).solve(problem.b, problem.target_rrn)
+            baseline_wall = time.perf_counter() - bt0
+        finally:
+            _retrace()
+        info = prec.cost_info()
+        prec_block = {
+            "name": str(preconditioner),
+            "storage": str(prec_storage),
+            "setup_seconds": float(prec_setup_seconds),
+            "applies": int(result.stats.preconditioner_applies),
+            "stored_bytes": int(info["stored_bytes"]),
+            "float64_bytes": int(info["float64_bytes"]),
+            "bytes_saved_fraction": float(
+                1.0 - info["stored_bytes"] / info["float64_bytes"]
+                if info["float64_bytes"]
+                else 0.0
+            ),
+            "baseline_iterations": int(base.iterations),
+            "baseline_converged": bool(base.converged),
+            "iteration_ratio": float(
+                result.iterations / base.iterations
+                if base.iterations
+                else 0.0
+            ),
+            "wall_speedup": float(
+                baseline_wall / wall_total if wall_total > 0 else 1.0
+            ),
+        }
+
     # backend block (schema v5).  jit entries re-run the full solve on
     # the numpy reference backend and must match bit for bit — a
     # diverging jit kernel refuses to emit rather than record timings
     # for a different computation.  This gate runs last because it
-    # flips the shared engine's kernels to numpy in place.
+    # flips the shared engine's kernels to numpy in place.  The
+    # reference solve rebuilds the preconditioner on the numpy backend
+    # so the gate covers the triangular-solve/block-apply kernels too.
     bit_identical_numpy = True
     if backend == "jit":
-        problem.a.tracer = NULL_TRACER
+        ref_prec = None
+        if preconditioner != "none":
+            ref_prec = make_preconditioner(
+                preconditioner, problem.a, storage=prec_storage,
+                backend="numpy",
+            )
+        _untrace()
         try:
             ref = CbGmres(
                 engine, storage, m=m, max_iter=max_iter,
                 basis_mode=basis_mode, backend="numpy",
+                preconditioner=ref_prec,
             ).solve(problem.b, problem.target_rrn)
         finally:
-            problem.a.tracer = tracer
+            _retrace()
         bit_identical_numpy = bool(
             ref.iterations == result.iterations
             and np.array_equal(ref.x, result.x)
@@ -475,6 +609,7 @@ def run_bench_entry(
             for k, v in sorted(tracer.counters.items())
         },
         **({"precision": precision_block} if precision_block else {}),
+        **({"preconditioner": prec_block} if prec_block else {}),
     }
 
 
@@ -490,6 +625,8 @@ def run_bench(
     spmv_format: str = "auto",
     basis_mode: str = "cached",
     backend: str = "numpy",
+    preconditioner: str = "none",
+    prec_storage: str = "float64",
 ) -> dict:
     """Run the full grid and return the schema-versioned bench document.
 
@@ -526,6 +663,13 @@ def run_bench(
         ``speedup_vs_numpy`` over the grid's codec-bound (frsz2_*)
         entries; any jit-vs-numpy bit divergence in a cell raises
         before a document is produced.
+    preconditioner, prec_storage : str
+        Right preconditioner (``--preconditioner``) and its factor
+        storage rung (``--prec-storage``) applied to every cell.  When
+        the matrix grid is the default *and* no preconditioner is
+        requested, the document additionally appends the
+        ``DEFAULT_PREC_TIER`` cells — the preconditioned trajectory —
+        so the acceptance-floor file always tracks both regimes.
     """
     if spmv_format not in SPMV_FORMATS:
         raise ValueError(
@@ -540,7 +684,18 @@ def run_bench(
             f"unknown backend {backend!r}; "
             f"expected one of {_dispatch.BACKENDS}"
         )
+    if preconditioner not in PRECONDITIONERS:
+        raise ValueError(
+            f"unknown preconditioner {preconditioner!r}; "
+            f"expected one of {PRECONDITIONERS}"
+        )
+    if prec_storage not in PREC_STORAGES:
+        raise ValueError(
+            f"unknown prec_storage {prec_storage!r}; "
+            f"expected one of {PREC_STORAGES}"
+        )
     scale = resolve_scale(scale)
+    default_grid = matrices is None
     matrices = list(matrices) if matrices else list(DEFAULT_BENCH_MATRICES)
     storages = list(storages) if storages else list(DEFAULT_BENCH_STORAGES)
     unknown = [name for name in matrices if name not in suite_names()]
@@ -549,18 +704,29 @@ def run_bench(
             f"unknown matrices {unknown}; suite: {', '.join(suite_names())}"
         )
     grid = [(matrix, storage) for matrix in matrices for storage in storages]
-    entries = run_grid(
-        run_bench_entry,
-        [
-            dict(matrix=matrix, storage=storage, scale=scale, m=m,
-                 max_iter=max_iter, target_rrn=target_rrn, device=device,
-                 spmv_format=spmv_format, basis_mode=basis_mode,
-                 backend=backend)
-            for matrix, storage in grid
-        ],
-        jobs=jobs,
-        labels=[f"bench[{matrix}/{storage}]" for matrix, storage in grid],
-    )
+    kwargs = [
+        dict(matrix=matrix, storage=storage, scale=scale, m=m,
+             max_iter=max_iter, target_rrn=target_rrn, device=device,
+             spmv_format=spmv_format, basis_mode=basis_mode,
+             backend=backend, preconditioner=preconditioner,
+             prec_storage=prec_storage)
+        for matrix, storage in grid
+    ]
+    labels = [f"bench[{matrix}/{storage}]" for matrix, storage in grid]
+    # schema v6: the acceptance-floor document always carries the
+    # preconditioned tier alongside the unpreconditioned grid; explicit
+    # matrix selections or an explicit preconditioner opt out
+    if default_grid and preconditioner == "none":
+        for mx, st, pname, pstorage in DEFAULT_PREC_TIER:
+            kwargs.append(
+                dict(matrix=mx, storage=st, scale=scale, m=m,
+                     max_iter=max_iter, target_rrn=target_rrn, device=device,
+                     spmv_format=spmv_format, basis_mode=basis_mode,
+                     backend=backend, preconditioner=pname,
+                     prec_storage=pstorage)
+            )
+            labels.append(f"bench[{mx}/{st}+{pname}]")
+    entries = run_grid(run_bench_entry, kwargs, jobs=jobs, labels=labels)
     # grid-wide backend summary: every cell resolved identically (the
     # same process/worker environment), so the first entry's resolution
     # speaks for the grid; the geomean covers codec-bound entries only
@@ -588,6 +754,8 @@ def run_bench(
         "max_iter": int(max_iter),
         "spmv_format": str(spmv_format),
         "basis_mode": str(basis_mode),
+        "preconditioner": str(preconditioner),
+        "prec_storage": str(prec_storage),
         "backend": backend_block,
         "matrices": matrices,
         "storages": storages,
@@ -632,6 +800,14 @@ def validate_bench(doc: dict) -> None:
             "$.basis_mode",
             f"expected one of {'/'.join(BENCH_BASIS_MODES)}, "
             f"got {doc['basis_mode']!r}")
+    _expect(doc.get("preconditioner") in PRECONDITIONERS,
+            "$.preconditioner",
+            f"expected one of {'/'.join(PRECONDITIONERS)} (schema v6), "
+            f"got {doc.get('preconditioner')!r}")
+    _expect(doc.get("prec_storage") in PREC_STORAGES,
+            "$.prec_storage",
+            f"expected one of {'/'.join(PREC_STORAGES)} (schema v6), "
+            f"got {doc.get('prec_storage')!r}")
     for key in ("restart", "max_iter"):
         _expect(isinstance(doc.get(key), int) and doc[key] > 0,
                 f"$.{key}", "expected a positive integer")
@@ -798,6 +974,10 @@ def validate_bench(doc: dict) -> None:
         else:
             _expect("precision" not in entry, f"{where}.precision",
                     "only adaptive entries carry a precision block")
+        if "preconditioner" in entry:
+            _validate_preconditioner_block(
+                entry["preconditioner"], f"{where}.preconditioner"
+            )
 
 
 def _validate_precision_block(precision: object, where: str) -> None:
@@ -861,6 +1041,37 @@ def _validate_precision_block(precision: object, where: str) -> None:
             f"{where}.baseline_converged", "expected a boolean")
 
 
+def _validate_preconditioner_block(prec: object, where: str) -> None:
+    """Validate one preconditioned entry's ``preconditioner`` block (v6)."""
+    _expect(isinstance(prec, dict), where, "expected an object")
+    expected = {
+        "name", "storage", "setup_seconds", "applies", "stored_bytes",
+        "float64_bytes", "bytes_saved_fraction", "baseline_iterations",
+        "baseline_converged", "iteration_ratio", "wall_speedup",
+    }
+    _expect(set(prec) == expected, where,
+            f"unexpected preconditioner block keys {sorted(prec)}")
+    _expect(
+        prec["name"] in PRECONDITIONERS and prec["name"] != "none",
+        f"{where}.name",
+        "unpreconditioned entries must not carry a preconditioner block",
+    )
+    _expect(prec["storage"] in PREC_STORAGES, f"{where}.storage",
+            f"expected one of {'/'.join(PREC_STORAGES)}, "
+            f"got {prec['storage']!r}")
+    for key in ("applies", "stored_bytes", "float64_bytes",
+                "baseline_iterations"):
+        _expect(
+            isinstance(prec[key], int) and not isinstance(prec[key], bool),
+            f"{where}.{key}", "expected an integer",
+        )
+    for key in ("setup_seconds", "bytes_saved_fraction", "iteration_ratio",
+                "wall_speedup"):
+        _expect_number(prec[key], f"{where}.{key}")
+    _expect(isinstance(prec["baseline_converged"], bool),
+            f"{where}.baseline_converged", "expected a boolean")
+
+
 # ----------------------------------------------------------------------
 # persistence + comparison
 # ----------------------------------------------------------------------
@@ -913,26 +1124,32 @@ def compare_bench(
         raise ValueError("tolerance must be non-negative")
     validate_bench(base)
     validate_bench(new)
-    new_by_key: Dict[tuple, dict] = {
-        (e["matrix"], e["storage"]): e for e in new["entries"]
-    }
+
+    def _key(e: dict) -> tuple:
+        # preconditioned and unpreconditioned entries for the same
+        # matrix/storage cell are distinct trajectory points (v6)
+        prec = e.get("preconditioner") or {}
+        return (e["matrix"], e["storage"], prec.get("name", "none"))
+
+    new_by_key: Dict[tuple, dict] = {_key(e): e for e in new["entries"]}
     regressions: List[Regression] = []
     for old in base["entries"]:
-        key = (old["matrix"], old["storage"])
+        key = _key(old)
+        slabel = key[1] if key[2] == "none" else f"{key[1]}+{key[2]}"
         entry = new_by_key.get(key)
         if entry is None:
             regressions.append(
-                Regression(key[0], key[1], "coverage (entry missing)", 1.0, 0.0)
+                Regression(key[0], slabel, "coverage (entry missing)", 1.0, 0.0)
             )
             continue
         if old["converged"] and not entry["converged"]:
             regressions.append(
-                Regression(key[0], key[1], "converged", 1.0, 0.0)
+                Regression(key[0], slabel, "converged", 1.0, 0.0)
             )
         for metric in ("iterations", "modeled_seconds"):
             before, after = float(old[metric]), float(entry[metric])
             if after > before * (1.0 + tolerance):
                 regressions.append(
-                    Regression(key[0], key[1], metric, before, after)
+                    Regression(key[0], slabel, metric, before, after)
                 )
     return regressions

@@ -99,6 +99,28 @@ class GmresTimingModel:
         """One float64 streaming vector op (axpy/norm/copy)."""
         return KernelCost(bytes_moved=3 * n * 8, fp64_flops=2 * n, int_ops=0)
 
+    def prec_apply_cost(self, n: int, info: Dict) -> KernelCost:
+        """One ``M^-1 v`` apply from a preconditioner's ``cost_info()``.
+
+        Streams the stored factor/block values at their *stored* width
+        (``stored_bytes`` — the term the compression ladder shrinks),
+        plus the float64 read of ``v`` and write of the result; each
+        stored entry costs a multiply-add and, for compressed storages,
+        its decode integer ops.  Triangular solves are sequential along
+        rows on a GPU, but level-scheduled implementations stay
+        memory-bound, so the roofline over these terms is the right
+        first-order price.
+        """
+        fmt = format_cost(info.get("storage", "float64"))
+        entries = int(info.get("entries", 0))
+        return KernelCost(
+            bytes_moved=float(info.get("stored_bytes", 8 * entries)) + 16.0 * n,
+            fp64_flops=2 * entries,
+            int_ops=entries * fmt.decompress_ops + entries,
+            aligned=fmt.aligned,
+            bw_derate=fmt.bandwidth_derate,
+        )
+
     # -- end-to-end -----------------------------------------------------
 
     def time_stats(self, stats: "SolveStats", storage: str) -> SolveTiming:
@@ -175,16 +197,23 @@ class GmresTimingModel:
             ).bytes_moved
         return total
 
-    def phase_times(self, stats: "SolveStats", storage: str) -> Dict[str, float]:
+    def phase_times(
+        self,
+        stats: "SolveStats",
+        storage: str,
+        prec_info: "Dict | None" = None,
+    ) -> Dict[str, float]:
         """Predicted seconds per solver phase, keyed by the observe-layer
         span names (``spmv`` / ``orthogonalize`` / ``basis_read`` /
-        ``basis_write`` / ``update`` / ``other``).
+        ``basis_write`` / ``update`` / ``preconditioner`` / ``other``).
 
         The dense-vector-op budget of :meth:`time_stats` is apportioned
         by where the work log accrued it: 4 ops per Arnoldi step belong
         to the orthogonalization, 1 per restart to the solution update,
         and the remainder (the explicit-residual recomputations) to
-        ``other``.
+        ``other``.  ``prec_info`` (a preconditioner's ``cost_info()``)
+        prices the logged ``preconditioner_applies``; without it the
+        ``preconditioner`` phase is 0, keeping the key set uniform.
         """
         t = self.time_stats(stats, self._model_storage_name(storage))
         vec = self.dense_vector_cost(stats.n).time_on(self.device)
@@ -193,12 +222,19 @@ class GmresTimingModel:
         residual_vec = max(
             t.vector_ops_seconds - ortho_vec - update_vec, 0.0
         )
+        prec_s = 0.0
+        applies = getattr(stats, "preconditioner_applies", 0)
+        if prec_info and applies:
+            prec_s = applies * self.prec_apply_cost(
+                stats.n, prec_info
+            ).time_on(self.device)
         return {
             "spmv": t.spmv_seconds,
             "orthogonalize": ortho_vec,
             "basis_read": t.basis_read_seconds,
             "basis_write": t.basis_write_seconds,
             "update": update_vec,
+            "preconditioner": prec_s,
             "other": residual_vec,
         }
 

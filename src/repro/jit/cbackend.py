@@ -299,6 +299,54 @@ void sell_group_matvec(const int64_t *rows, const int64_t *cols_t,
         y[rows[r]] = acc;
     }
 }
+
+/* In-place forward sweep: L y = b with strictly-lower CSR L and an
+ * implicit unit diagonal (the ILU(0) L factor). */
+void prec_lower_trisolve(const int64_t *indptr, const int64_t *indices,
+                         const double *data, double *y, int64_t n)
+{
+    for (int64_t i = 0; i < n; i++) {
+        double s = y[i];
+        for (int64_t k = indptr[i]; k < indptr[i + 1]; k++)
+            s -= data[k] * y[indices[k]];
+        y[i] = s;
+    }
+}
+
+/* In-place backward sweep: U y = b with strictly-upper CSR entries
+ * plus a separate diagonal array. */
+void prec_upper_trisolve(const int64_t *indptr, const int64_t *indices,
+                         const double *data, const double *udiag,
+                         double *y, int64_t n)
+{
+    for (int64_t i = n - 1; i >= 0; i--) {
+        double s = y[i];
+        for (int64_t k = indptr[i]; k < indptr[i + 1]; k++)
+            s -= data[k] * y[indices[k]];
+        y[i] = s / udiag[i];
+    }
+}
+
+/* out = blockdiag(B_0, B_1, ...) @ v with flattened zero-padded
+ * bs x bs blocks; the short trailing block only touches its live
+ * rows/columns. */
+void prec_block_diag_apply(const double *blocks, const double *v,
+                           int64_t bs, int64_t n, double *out)
+{
+    int64_t nb = (n + bs - 1) / bs;
+    for (int64_t b = 0; b < nb; b++) {
+        int64_t lo = b * bs;
+        int64_t hi = lo + bs < n ? lo + bs : n;
+        const double *base = blocks + b * bs * bs;
+        for (int64_t i = lo; i < hi; i++) {
+            double s = 0.0;
+            const double *row = base + (i - lo) * bs;
+            for (int64_t k = lo; k < hi; k++)
+                s += row[k - lo] * v[k];
+            out[i] = s;
+        }
+    }
+}
 """
 
 _CDEF = """
@@ -330,6 +378,13 @@ void ell_matvec(const int64_t *cols_t, const double *vals_t, int64_t width,
 void sell_group_matvec(const int64_t *rows, const int64_t *cols_t,
                        const double *vals_t, int64_t width, int64_t g,
                        const double *x, double *y);
+void prec_lower_trisolve(const int64_t *indptr, const int64_t *indices,
+                         const double *data, double *y, int64_t n);
+void prec_upper_trisolve(const int64_t *indptr, const int64_t *indices,
+                         const double *data, const double *udiag,
+                         double *y, int64_t n);
+void prec_block_diag_apply(const double *blocks, const double *v,
+                           int64_t bs, int64_t n, double *out);
 """
 
 #: flags that pin IEEE semantics: no FMA contraction, no fast-math —
@@ -634,3 +689,48 @@ class CEngine:
             self._ptr(tmp, "double *"),
         )
         y[rows] = tmp
+
+    # -- preconditioner applies ---------------------------------------
+
+    def lower_unit_trisolve(self, indptr, indices, data, b) -> np.ndarray:
+        indptr = self._c(indptr, np.int64)
+        indices = self._c(indices, np.int64)
+        data = self._c(data, np.float64)
+        y = np.array(b, dtype=np.float64)
+        self._lib.prec_lower_trisolve(
+            self._ptr(indptr, "int64_t *"),
+            self._ptr(indices, "int64_t *"),
+            self._ptr(data, "double *"),
+            self._ptr(y, "double *"),
+            y.size,
+        )
+        return y
+
+    def upper_trisolve(self, indptr, indices, data, udiag, b) -> np.ndarray:
+        indptr = self._c(indptr, np.int64)
+        indices = self._c(indices, np.int64)
+        data = self._c(data, np.float64)
+        udiag = self._c(udiag, np.float64)
+        y = np.array(b, dtype=np.float64)
+        self._lib.prec_upper_trisolve(
+            self._ptr(indptr, "int64_t *"),
+            self._ptr(indices, "int64_t *"),
+            self._ptr(data, "double *"),
+            self._ptr(udiag, "double *"),
+            self._ptr(y, "double *"),
+            y.size,
+        )
+        return y
+
+    def block_diag_apply(self, blocks, v, bs, n) -> np.ndarray:
+        blocks = self._c(blocks, np.float64)
+        v = self._c(v, np.float64)
+        out = np.empty(int(n), dtype=np.float64)
+        self._lib.prec_block_diag_apply(
+            self._ptr(blocks, "double *"),
+            self._ptr(v, "double *"),
+            int(bs),
+            int(n),
+            self._ptr(out, "double *"),
+        )
+        return out

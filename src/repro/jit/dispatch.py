@@ -2,7 +2,8 @@
 
 Every hot kernel of the reproduction — the bitpack scatter/gather, the
 FRSZ2 encode/decode block loops, the CSR/ELL/SELL SpMV kernels and the
-fused tile reductions — is registered here under a ``(name, backend)``
+fused tile reductions, plus the preconditioner triangular-solve and
+block-diagonal applies — is registered here under a ``(name, backend)``
 key.  Components (the codec, the sparse matrices, the solvers) resolve
 their kernels through :func:`get_kernel` at construction time, so the
 ``backend={numpy,jit}`` switch is a single attribute threaded from the
@@ -244,6 +245,13 @@ def _ensure_jit_kernels() -> None:
     register_kernel("spmv.csr_matvec", "jit", engine.csr_matvec)
     register_kernel("spmv.ell_matvec", "jit", engine.ell_matvec)
     register_kernel("spmv.sell_group_matvec", "jit", engine.sell_group_matvec)
+    register_kernel("prec.lower_trisolve", "jit", engine.lower_unit_trisolve)
+    register_kernel("prec.upper_trisolve", "jit", engine.upper_trisolve)
+    register_kernel("prec.block_diag_apply", "jit", engine.block_diag_apply)
+    # The prec.* numpy references live with the solvers; import them here
+    # so the numpy/jit registries stay mirrored even when no
+    # preconditioner object has been constructed yet.
+    from ..solvers import prec_kernels as _prec_kernels  # noqa: F401
     # The fused tile kernels are backend-shared: the per-tile BLAS ``@``
     # reduction is the determinism contract itself (its internal blocking
     # cannot be replayed in scalar compiled code), so ``jit`` registers

@@ -263,6 +263,39 @@ def _sell_group_matvec(rows, cols_t, vals_t, x, y):
         y[rows[r]] = acc
 
 
+@njit(cache=True)
+def _lower_unit_trisolve(indptr, indices, data, y):
+    for i in range(y.size):
+        s = y[i]
+        for k in range(indptr[i], indptr[i + 1]):
+            s -= data[k] * y[indices[k]]
+        y[i] = s
+
+
+@njit(cache=True)
+def _upper_trisolve(indptr, indices, data, udiag, y):
+    for i in range(y.size - 1, -1, -1):
+        s = y[i]
+        for k in range(indptr[i], indptr[i + 1]):
+            s -= data[k] * y[indices[k]]
+        y[i] = s / udiag[i]
+
+
+@njit(cache=True)
+def _block_diag_apply(blocks, v, bs, n, out):
+    nb = (n + bs - 1) // bs
+    for b in range(nb):
+        lo = b * bs
+        hi = min(lo + bs, n)
+        base = b * bs * bs
+        for i in range(lo, hi):
+            s = 0.0
+            row = base + (i - lo) * bs
+            for k in range(lo, hi):
+                s += blocks[row + (k - lo)] * v[k]
+            out[i] = s
+
+
 class NumbaEngine:
     """Engine facade over the ``@njit`` kernels (same API as ``CEngine``)."""
 
@@ -418,3 +451,37 @@ class NumbaEngine:
             np.arange(rows.size, dtype=np.int64), cols_t, vals_t, x, tmp
         )
         y[rows] = tmp
+
+    # -- preconditioner applies ---------------------------------------
+
+    def lower_unit_trisolve(self, indptr, indices, data, b) -> np.ndarray:
+        y = np.array(b, dtype=np.float64)
+        _lower_unit_trisolve(
+            np.ascontiguousarray(indptr, np.int64),
+            np.ascontiguousarray(indices, np.int64),
+            np.ascontiguousarray(data, np.float64),
+            y,
+        )
+        return y
+
+    def upper_trisolve(self, indptr, indices, data, udiag, b) -> np.ndarray:
+        y = np.array(b, dtype=np.float64)
+        _upper_trisolve(
+            np.ascontiguousarray(indptr, np.int64),
+            np.ascontiguousarray(indices, np.int64),
+            np.ascontiguousarray(data, np.float64),
+            np.ascontiguousarray(udiag, np.float64),
+            y,
+        )
+        return y
+
+    def block_diag_apply(self, blocks, v, bs, n) -> np.ndarray:
+        out = np.empty(int(n), dtype=np.float64)
+        _block_diag_apply(
+            np.ascontiguousarray(blocks, np.float64),
+            np.ascontiguousarray(v, np.float64),
+            int(bs),
+            int(n),
+            out,
+        )
+        return out

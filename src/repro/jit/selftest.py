@@ -151,9 +151,56 @@ def _check_spmv(engine, rng: np.random.Generator) -> None:
             "spmv.sell_group_matvec")
 
 
+def _check_prec(engine, rng: np.random.Generator) -> None:
+    from ..solvers import prec_kernels
+
+    n = 83
+    # random strictly-triangular patterns with ~6 entries per row
+    lower_rows = [
+        np.unique(rng.integers(0, i, min(6, i))) if i else np.empty(0, np.int64)
+        for i in range(n)
+    ]
+    l_ip = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum([r.size for r in lower_rows], out=l_ip[1:])
+    l_cols = np.concatenate(lower_rows).astype(np.int64)
+    l_vals = rng.standard_normal(l_cols.size)
+    b = rng.standard_normal(n) * np.exp2(rng.integers(-30, 30, n).astype(float))
+
+    ref = prec_kernels.lower_unit_trisolve_numpy(l_ip, l_cols, l_vals, b)
+    got = engine.lower_unit_trisolve(l_ip, l_cols, l_vals, b)
+    _expect(np.array_equal(ref.view(np.uint64), got.view(np.uint64)),
+            "prec.lower_trisolve")
+
+    upper_rows = [
+        np.unique(rng.integers(i + 1, n, min(6, n - 1 - i)))
+        if i < n - 1
+        else np.empty(0, np.int64)
+        for i in range(n)
+    ]
+    u_ip = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum([r.size for r in upper_rows], out=u_ip[1:])
+    u_cols = np.concatenate(upper_rows).astype(np.int64)
+    u_vals = rng.standard_normal(u_cols.size)
+    udiag = rng.standard_normal(n) + np.sign(rng.standard_normal(n)) * 2.0
+
+    ref = prec_kernels.upper_trisolve_numpy(u_ip, u_cols, u_vals, udiag, b)
+    got = engine.upper_trisolve(u_ip, u_cols, u_vals, udiag, b)
+    _expect(np.array_equal(ref.view(np.uint64), got.view(np.uint64)),
+            "prec.upper_trisolve")
+
+    for bs in (8, 7):  # aligned and partial trailing block
+        nb = -(-n // bs)
+        blocks = rng.standard_normal(nb * bs * bs)
+        ref = prec_kernels.block_diag_apply_numpy(blocks, b, bs, n)
+        got = engine.block_diag_apply(blocks, b, bs, n)
+        _expect(np.array_equal(ref.view(np.uint64), got.view(np.uint64)),
+                f"prec.block_diag_apply (bs={bs})")
+
+
 def run(engine) -> None:
     """Raise unless ``engine`` reproduces the numpy kernels bit-for-bit."""
     rng = np.random.default_rng(0xF25F2)
     _check_bitpack(engine, rng)
     _check_codec(engine, rng)
     _check_spmv(engine, rng)
+    _check_prec(engine, rng)

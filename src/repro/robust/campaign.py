@@ -34,6 +34,11 @@ from ..parallel import WorkerCrashError, run_grid
 from ..sparse.engine import SPMV_FORMATS, SpmvEngine
 from ..solvers.adaptive import ADAPTIVE_STORAGE
 from ..solvers.gmres import CbGmres
+from ..solvers.preconditioner import (
+    PRECONDITIONERS,
+    PREC_STORAGES,
+    make_preconditioner,
+)
 from ..solvers.problems import Problem, make_problem
 from .fallback import FallbackPolicy, RobustCbGmres
 from .faults import FaultInjector, FaultyAccessor, FaultySpmvMatrix
@@ -153,9 +158,18 @@ def _run_cell(
     spmv_format: str = "csr",
     basis_mode: str = "cached",
     backend: "str | None" = None,
+    preconditioner: str = "none",
+    prec_storage: str = "float64",
 ) -> CampaignCell:
     injector = FaultInjector(rate, seed_key)
     a = problem.a
+    # factor the *raw* operator: injected faults poison the solve's
+    # SpMV and basis traffic, never the preconditioner setup
+    prec = None
+    if preconditioner != "none":
+        prec = make_preconditioner(
+            preconditioner, problem.a, storage=prec_storage, backend=backend,
+        )
     if spmv_format != "csr":
         # build the engine first so SpMV faults poison the *selected*
         # format's output, exactly as they would the CSR kernel's
@@ -177,6 +191,7 @@ def _run_cell(
                 m=m,
                 max_iter=max_iter,
                 accessor_factory=wrap,
+                preconditioner=prec,
                 basis_mode=basis_mode,
                 backend=backend,
             )
@@ -205,6 +220,7 @@ def _run_cell(
             a, storage, m=m, max_iter=max_iter,
             accessor_factory=factory, storage_factory=storage_factory,
             recovery=hardened, basis_mode=basis_mode, backend=backend,
+            preconditioner=prec,
         )
         res = solver.solve(problem.b, problem.target_rrn)
         if res.converged:
@@ -250,8 +266,15 @@ def run_campaign(
     spmv_format: str = "csr",
     basis_mode: str = "cached",
     backend: "str | None" = None,
+    preconditioner: str = "none",
+    prec_storage: str = "float64",
 ) -> CampaignResult:
     """Sweep fault kind × storage format × rate on one suite matrix.
+
+    ``preconditioner``/``prec_storage`` apply a right preconditioner to
+    every cell's solver (hardened and baseline alike); the factors are
+    built per cell from the raw operator, so injected faults never
+    corrupt the factorization itself.
 
     Deterministic: identical arguments (including ``seed``) reproduce
     every injected fault and therefore every cell bit-for-bit.  Each
@@ -283,6 +306,16 @@ def run_campaign(
         raise ValueError(
             f"unknown SpMV format {spmv_format!r}; expected one of {SPMV_FORMATS}"
         )
+    if preconditioner not in PRECONDITIONERS:
+        raise ValueError(
+            f"unknown preconditioner {preconditioner!r}; "
+            f"expected one of {PRECONDITIONERS}"
+        )
+    if prec_storage not in PREC_STORAGES:
+        raise ValueError(
+            f"unknown prec_storage {prec_storage!r}; "
+            f"expected one of {PREC_STORAGES}"
+        )
     # resolve the backend once in the parent so an unavailable-jit
     # warning fires a single time, not once per grid cell or worker;
     # the jit kernels are bit-identical, so fault reproduction is
@@ -296,7 +329,8 @@ def run_campaign(
             seed_key=(seed, i_f, i_s, i_r), m=m, max_iter=max_iter,
             hardened=hardened, fallback=fallback, policy=policy,
             spmv_format=spmv_format, basis_mode=basis_mode,
-            backend=backend,
+            backend=backend, preconditioner=preconditioner,
+            prec_storage=prec_storage,
         )
         for i_f, fault in enumerate(faults)
         for i_s, storage in enumerate(storages)

@@ -117,6 +117,11 @@ class JobSpec:
     spmv_format, basis_mode, backend : str
         Forwarded to :class:`~repro.solvers.gmres.CbGmres` (``backend``
         selects the numpy or jit kernel backend; bit-identical).
+    preconditioner, prec_storage : str
+        Right preconditioner built worker-side from the raw operator
+        (``none``/``jacobi``/``block_jacobi``/``ilu0``) and its factor
+        storage rung.  Part of the batch-coalescing key: jobs only
+        coalesce when they share the whole preconditioner config.
     deadline_s : float, optional
         Whole-job wall deadline, counted from the job's *first* dispatch
         to a worker (queue wait does not consume it); spans retries and
@@ -142,6 +147,8 @@ class JobSpec:
     spmv_format: str = "csr"
     basis_mode: str = "cached"
     backend: str = "numpy"
+    preconditioner: str = "none"
+    prec_storage: str = "float64"
     deadline_s: Optional[float] = None
     max_retries: Optional[int] = None
     progress_every: int = 25
@@ -159,6 +166,8 @@ class JobSpec:
             "spmv_format": self.spmv_format,
             "basis_mode": self.basis_mode,
             "backend": self.backend,
+            "preconditioner": self.preconditioner,
+            "prec_storage": self.prec_storage,
             "deadline_s": self.deadline_s,
             "max_retries": self.max_retries,
             "progress_every": self.progress_every,

@@ -41,6 +41,7 @@ from ..robust.chaos import (
     chaos_spmv_wrapper,
 )
 from ..solvers.gmres import CbGmres
+from ..solvers.preconditioner import make_preconditioner
 from ..solvers.problems import make_problem
 
 __all__ = ["IsolationError", "run_solve_job", "run_solve_batch_job"]
@@ -117,6 +118,17 @@ def run_solve_job(
             if not chaos.armed(attempt):
                 chaos = None
 
+        # the preconditioner factors the *raw* operator — chaos wrappers
+        # poison the solve's SpMV, never the factorization
+        prec = None
+        if spec.get("preconditioner", "none") != "none":
+            prec = make_preconditioner(
+                spec["preconditioner"],
+                problem.a,
+                storage=spec.get("prec_storage", "float64"),
+                backend=spec.get("backend", "numpy"),
+            )
+
         a = problem.a
         accessor_factory = None
         storage_factory = None
@@ -171,6 +183,7 @@ def run_solve_job(
             spmv_format=spec.get("spmv_format", "csr"),
             basis_mode=spec.get("basis_mode", "cached"),
             backend=spec.get("backend", "numpy"),
+            preconditioner=prec,
             accessor_factory=accessor_factory,
             storage_factory=storage_factory,
             tracer=tracer,
@@ -296,6 +309,18 @@ def run_solve_batch_job(
                 },
             })
 
+        # batch members share the whole preconditioner config (it is
+        # part of the engine's batch key), so one factorization serves
+        # every column
+        prec = None
+        if lead.get("preconditioner", "none") != "none":
+            prec = make_preconditioner(
+                lead["preconditioner"],
+                problem.a,
+                storage=lead.get("prec_storage", "float64"),
+                backend=lead.get("backend", "numpy"),
+            )
+
         solver = CbGmres(
             problem.a,
             storage,
@@ -304,6 +329,7 @@ def run_solve_batch_job(
             spmv_format=lead.get("spmv_format", "csr"),
             basis_mode=lead.get("basis_mode", "cached"),
             backend=lead.get("backend", "numpy"),
+            preconditioner=prec,
             tracer=tracer,
         )
         batch = solver.solve_batch(

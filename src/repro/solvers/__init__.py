@@ -32,10 +32,16 @@ from .orthogonal import (
     mgs_orthogonalize,
 )
 from .preconditioner import (
+    PREC_STORAGES,
+    PRECONDITIONERS,
     BlockJacobiPreconditioner,
     IdentityPreconditioner,
+    ILU0Preconditioner,
     JacobiPreconditioner,
     Preconditioner,
+    PreconditionerError,
+    ZeroPivotError,
+    make_preconditioner,
 )
 from .predictor import (
     BasisRiskFeatures,
@@ -78,9 +84,15 @@ __all__ = [
     "cgs_orthogonalize",
     "mgs_orthogonalize",
     "Preconditioner",
+    "PreconditionerError",
+    "ZeroPivotError",
+    "PRECONDITIONERS",
+    "PREC_STORAGES",
     "IdentityPreconditioner",
     "JacobiPreconditioner",
     "BlockJacobiPreconditioner",
+    "ILU0Preconditioner",
+    "make_preconditioner",
     "BasisRiskFeatures",
     "FormatRecommendation",
     "exponent_spread_features",

@@ -14,8 +14,12 @@ The solver follows the paper's algorithmic formulation exactly:
   newest vector is kept in double precision for the SpMV of the next
   iteration, matching Ginkgo's CB-GMRES.
 
-No preconditioner is used (paper Section V-C: "We do not use any
-preconditioner to not blur the numerical impact").
+The paper's own experiments run unpreconditioned (Section V-C: "We do
+not use any preconditioner to not blur the numerical impact") and that
+remains the default here, but the iteration is right-preconditioned:
+pass ``preconditioner=`` (see :mod:`repro.solvers.preconditioner`, or
+``make_preconditioner`` for the CLI names) to solve ``A M^-1 u = b``
+with ``x = M^-1 u``.
 """
 
 from __future__ import annotations
@@ -361,6 +365,10 @@ class CbGmres:
         self.basis_mode = basis_mode
         self.tile_elems = int(tile_elems)
         self.tracer = tracer or NULL_TRACER
+        if self.tracer is not NULL_TRACER:
+            getattr(self.preconditioner, "attach_tracer", lambda t: None)(
+                self.tracer
+            )
         if accessor_factory is not None and storage_factory is not None:
             raise ValueError(
                 "pass accessor_factory (fixed format) or storage_factory "

@@ -3,32 +3,98 @@
 The paper's experiments run unpreconditioned ("to not blur the numerical
 impact", Section V-C), but the algorithm it implements is right-
 preconditioned GMRES: ``w := A(M^-1 v)`` and ``x := x0 + M^-1 (V_m y)``.
-This module provides that machinery, including the reduced-precision
-block-Jacobi storage of the paper's ref [15] (Anzt et al., "Adaptive
-precision in block-Jacobi preconditioning") — the lineage the FRSZ2 idea
-grew out of: store the preconditioner in low precision, compute in
-double.
+This module provides that machinery as a first-class tier:
+
+:class:`JacobiPreconditioner`
+    Diagonal scaling.
+:class:`BlockJacobiPreconditioner`
+    Block-diagonal inverses held in a *storage ladder*
+    (``float64 | float32 | float16 | frsz2_32 | frsz2_16``) through the
+    same accessor machinery the Krylov basis uses — the reduced-precision
+    block-Jacobi of the paper's ref [15] (Anzt et al., "Adaptive
+    precision in block-Jacobi preconditioning"), extended from plain
+    IEEE truncation to FRSZ2 block compression.  Stored values are
+    decoded per apply; the arithmetic itself is always float64.
+:class:`ILU0Preconditioner`
+    CSR-native incomplete LU with no fill-in, applied through sparse
+    unit-lower / upper triangular solves.  Factor values may sit on the
+    same storage ladder.
+
+The hot apply paths — the two triangular solves and the batched
+block-diagonal apply — are dispatch-registry kernels
+(``prec.lower_trisolve``, ``prec.upper_trisolve``,
+``prec.block_diag_apply``; see :mod:`repro.solvers.prec_kernels`) with
+bit-identical ``numpy`` and ``jit`` implementations, so a preconditioned
+solve stays byte-equal across backends.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
+from ..accessor import make_accessor
+from ..jit import dispatch as _dispatch
+from ..observe import NULL_TRACER
 from ..sparse.csr import CSRMatrix
+from . import prec_kernels as _prec_kernels  # noqa: F401 - registers numpy kernels
 
 __all__ = [
+    "PRECONDITIONERS",
+    "PREC_STORAGES",
+    "PreconditionerError",
+    "ZeroPivotError",
     "Preconditioner",
     "IdentityPreconditioner",
     "JacobiPreconditioner",
     "BlockJacobiPreconditioner",
+    "ILU0Preconditioner",
+    "make_preconditioner",
 ]
+
+#: accepted values for every ``preconditioner=`` knob
+PRECONDITIONERS = ("none", "jacobi", "block_jacobi", "ilu0")
+
+#: the storage ladder exposed on the CLI (``float16`` is additionally
+#: accepted by the classes for ref-[15] compatibility)
+PREC_STORAGES = ("float64", "float32", "frsz2_32", "frsz2_16")
+
+_CLASS_STORAGES = PREC_STORAGES + ("float16",)
+
+_DTYPE_TO_STORAGE = {
+    np.dtype(np.float64): "float64",
+    np.dtype(np.float32): "float32",
+    np.dtype(np.float16): "float16",
+}
+
+
+class PreconditionerError(ValueError):
+    """A preconditioner could not be built from the given configuration."""
+
+
+class ZeroPivotError(PreconditionerError):
+    """ILU(0) hit a structurally missing or exactly-zero pivot."""
+
+    def __init__(self, row: int) -> None:
+        super().__init__(f"ILU(0) zero pivot at row {row}")
+        self.row = int(row)
+
+
+def _storage_limit(storage: str) -> float:
+    """Saturation bound for ``storage`` (finite-max of the IEEE carrier)."""
+    if storage == "float32":
+        return float(np.finfo(np.float32).max)
+    if storage == "float16":
+        return float(np.finfo(np.float16).max)
+    return float(np.finfo(np.float64).max)
 
 
 class Preconditioner(abc.ABC):
     """Right preconditioner: provides ``y = M^-1 v``."""
+
+    tracer = NULL_TRACER
 
     @abc.abstractmethod
     def apply(self, v: np.ndarray) -> np.ndarray:
@@ -37,6 +103,15 @@ class Preconditioner(abc.ABC):
     @property
     def is_identity(self) -> bool:
         return False
+
+    def attach_tracer(self, tracer) -> None:
+        """Adopt the solver's tracer unless one was set at construction."""
+        if tracer is not None and self.tracer is NULL_TRACER:
+            self.tracer = tracer
+
+    def cost_info(self) -> Optional[Dict[str, Any]]:
+        """Inputs for :func:`repro.gpu.timing.prec_apply_cost` (None = free)."""
+        return None
 
 
 class IdentityPreconditioner(Preconditioner):
@@ -54,84 +129,350 @@ class JacobiPreconditioner(Preconditioner):
     """Diagonal scaling ``M = diag(A)``.
 
     Zero diagonal entries fall back to 1 (no scaling for that row).
+    Always stored in float64 — at one value per row there is nothing
+    worth compressing.
     """
 
-    def __init__(self, a: CSRMatrix) -> None:
+    storage = "float64"
+
+    def __init__(self, a: CSRMatrix, tracer=None) -> None:
         if a.shape[0] != a.shape[1]:
             raise ValueError("Jacobi preconditioner requires a square matrix")
-        d = a.diagonal()
-        safe = np.where(d != 0.0, d, 1.0)
-        self._inv_diag = 1.0 / safe
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.n = a.shape[0]
+        with self.tracer.span("prec.setup", kind="jacobi", storage=self.storage):
+            d = a.diagonal()
+            safe = np.where(d != 0.0, d, 1.0)
+            self._inv_diag = 1.0 / safe
+
+    @property
+    def stored_nbytes(self) -> int:
+        return int(self._inv_diag.nbytes)
+
+    @property
+    def float64_nbytes(self) -> int:
+        return int(self._inv_diag.nbytes)
+
+    def cost_info(self) -> Dict[str, Any]:
+        return {
+            "kind": "jacobi",
+            "storage": self.storage,
+            "stored_bytes": self.stored_nbytes,
+            "float64_bytes": self.float64_nbytes,
+            "entries": self.n,
+        }
 
     def apply(self, v: np.ndarray) -> np.ndarray:
-        return np.asarray(v, dtype=np.float64) * self._inv_diag
+        with self.tracer.span("prec.apply", kind="jacobi", storage=self.storage):
+            out = np.asarray(v, dtype=np.float64) * self._inv_diag
+        self.tracer.count("prec.applies", 1)
+        self.tracer.count("prec.apply.bytes", self.stored_nbytes + 16 * self.n)
+        return out
 
 
 class BlockJacobiPreconditioner(Preconditioner):
-    """Block-diagonal inverse with optional reduced-precision storage.
+    """Block-diagonal inverse with ladder (optionally FRSZ2) storage.
 
     ``M = blockdiag(A_11, A_22, ...)`` with contiguous blocks of
-    ``block_size`` rows; each diagonal block is densified, inverted, and
-    stored in ``storage_dtype`` (float64/float32/float16) while the
-    application happens in float64 — exactly the adaptive-precision
-    block-Jacobi scheme of paper ref [15] that pioneered the
-    "compressed storage, double arithmetic" idea FRSZ2 generalizes.
+    ``block_size`` rows; each diagonal block is densified, inverted in
+    float64, and the flattened (zero-padded to ``block_size``) blocks
+    are written through a storage accessor — float64/float32/float16
+    keep the plain reduced-precision scheme of paper ref [15], while
+    ``frsz2_32``/``frsz2_16`` extend it to FRSZ2 block compression.
+    Every apply decodes the stored blocks back to float64 and runs the
+    ``prec.block_diag_apply`` dispatch kernel, so arithmetic is always
+    double ("compressed storage, double arithmetic").
 
-    Singular blocks fall back to the (pseudo-)identity for their rows.
+    Singular blocks fall back to the identity for their rows; values
+    outside the storage carrier's finite range saturate to its maximum
+    instead of poisoning applies with infinities.
     """
 
     def __init__(
         self,
         a: CSRMatrix,
         block_size: int = 8,
-        storage_dtype=np.float64,
+        storage_dtype=None,
+        *,
+        storage: Optional[str] = None,
+        backend: Optional[str] = None,
+        tracer=None,
     ) -> None:
         if a.shape[0] != a.shape[1]:
             raise ValueError("block-Jacobi requires a square matrix")
         if block_size < 1:
             raise ValueError("block_size must be positive")
+        if storage is None:
+            dt = np.dtype(storage_dtype if storage_dtype is not None else np.float64)
+            if dt not in _DTYPE_TO_STORAGE:
+                raise PreconditionerError(
+                    "storage_dtype must be float64, float32 or float16"
+                )
+            storage = _DTYPE_TO_STORAGE[dt]
+        elif storage_dtype is not None:
+            raise PreconditionerError("pass either storage= or storage_dtype=, not both")
+        if storage not in _CLASS_STORAGES:
+            raise PreconditionerError(
+                f"unknown prec storage {storage!r}; expected one of {_CLASS_STORAGES}"
+            )
         n = a.shape[0]
         self.n = n
         self.block_size = int(block_size)
-        self.storage_dtype = np.dtype(storage_dtype)
-        if self.storage_dtype not in (np.dtype(np.float64), np.dtype(np.float32), np.dtype(np.float16)):
-            raise ValueError("storage_dtype must be float64, float32 or float16")
-        nb = -(-n // block_size)
-        self._inverses = []
-        rows = a._rows
-        for b in range(nb):
-            lo = b * block_size
-            hi = min(lo + block_size, n)
-            m = hi - lo
-            block = np.zeros((m, m))
-            sel = (rows >= lo) & (rows < hi) & (a.indices >= lo) & (a.indices < hi)
-            block[rows[sel] - lo, a.indices[sel] - lo] = a.data[sel]
-            try:
-                inv = np.linalg.inv(block)
-            except np.linalg.LinAlgError:
-                inv = np.eye(m)
-            with np.errstate(over="ignore"):
-                stored = inv.astype(self.storage_dtype)
-            if not np.all(np.isfinite(stored.astype(np.float64))):
-                # saturate overflowing entries instead of poisoning applies
-                limit = np.finfo(self.storage_dtype).max
-                stored = np.clip(inv, -float(limit), float(limit)).astype(self.storage_dtype)
-            self._inverses.append(stored)
+        self.storage = storage
+        self.backend = _dispatch.resolve_backend(backend)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._kernel = _dispatch.get_kernel("prec.block_diag_apply", self.backend)
+        bs = self.block_size
+        nb = -(-n // bs)
+        self.num_blocks = nb
+        with self.tracer.span("prec.setup", kind="block_jacobi", storage=storage):
+            flat = np.zeros(nb * bs * bs, dtype=np.float64)
+            rows = a._rows
+            for b in range(nb):
+                lo = b * bs
+                hi = min(lo + bs, n)
+                m = hi - lo
+                block = np.zeros((m, m))
+                sel = (rows >= lo) & (rows < hi) & (a.indices >= lo) & (a.indices < hi)
+                block[rows[sel] - lo, a.indices[sel] - lo] = a.data[sel]
+                try:
+                    inv = np.linalg.inv(block)
+                except np.linalg.LinAlgError:
+                    inv = np.eye(m)
+                padded = np.zeros((bs, bs))
+                padded[:m, :m] = inv
+                flat[b * bs * bs : (b + 1) * bs * bs] = padded.ravel()
+            # saturate before encoding so narrow carriers store +-max,
+            # not inf (the pre-ladder semantics of this class)
+            limit = _storage_limit(storage)
+            flat = np.clip(flat, -limit, limit)
+            self._acc = make_accessor(storage, nb * bs * bs, backend=self.backend)
+            self._acc.write(flat)
 
     @property
     def stored_nbytes(self) -> int:
         """Bytes the block inverses occupy (the quantity [15] reduces)."""
-        return sum(inv.nbytes for inv in self._inverses)
+        return int(self._acc.stored_nbytes())
+
+    @property
+    def float64_nbytes(self) -> int:
+        return int(self.num_blocks * self.block_size * self.block_size * 8)
+
+    def cost_info(self) -> Dict[str, Any]:
+        return {
+            "kind": "block_jacobi",
+            "storage": self.storage,
+            "stored_bytes": self.stored_nbytes,
+            "float64_bytes": self.float64_nbytes,
+            "entries": self.num_blocks * self.block_size * self.block_size,
+        }
 
     def apply(self, v: np.ndarray) -> np.ndarray:
         v = np.asarray(v, dtype=np.float64)
         if v.shape != (self.n,):
             raise ValueError(f"expected vector of length {self.n}")
-        out = np.empty(self.n)
-        bs = self.block_size
-        for b, inv in enumerate(self._inverses):
-            lo = b * bs
-            hi = lo + inv.shape[0]
-            # arithmetic in double precision, storage in reduced precision
-            out[lo:hi] = inv.astype(np.float64) @ v[lo:hi]
+        with self.tracer.span("prec.apply", kind="block_jacobi", storage=self.storage):
+            blocks = self._acc.read()
+            out = self._kernel(blocks, v, self.block_size, self.n)
+        self.tracer.count("prec.applies", 1)
+        self.tracer.count("prec.apply.bytes", self.stored_nbytes + 16 * self.n)
         return out
+
+
+class ILU0Preconditioner(Preconditioner):
+    """Incomplete LU factorization with zero fill-in, ``M = L U``.
+
+    The factorization keeps exactly the sparsity pattern of ``A`` (IKJ
+    ordering with a scatter workspace), splitting into a unit-lower
+    factor ``L`` (strictly-lower multipliers, implicit unit diagonal)
+    and an upper factor ``U`` (strictly-upper entries plus a diagonal).
+    Applying ``M^-1`` is two sparse triangular sweeps through the
+    ``prec.lower_trisolve`` / ``prec.upper_trisolve`` dispatch kernels.
+
+    Factor *values* may live on the reduced/compressed storage ladder
+    (decoded per apply); the integer pattern arrays are identical for
+    every storage and excluded from the byte accounting.  A structurally
+    missing or exactly-zero pivot raises :class:`ZeroPivotError` naming
+    the row — ILU(0) existence is not guaranteed for indefinite
+    matrices.  Note a narrow storage can round a small pivot further;
+    ``float64`` (the default) is the robust choice.
+    """
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        storage: str = "float64",
+        *,
+        backend: Optional[str] = None,
+        tracer=None,
+    ) -> None:
+        if a.shape[0] != a.shape[1]:
+            raise ValueError("ILU(0) requires a square matrix")
+        if storage not in _CLASS_STORAGES:
+            raise PreconditionerError(
+                f"unknown prec storage {storage!r}; expected one of {_CLASS_STORAGES}"
+            )
+        n = a.shape[0]
+        self.n = n
+        self.storage = storage
+        self.backend = _dispatch.resolve_backend(backend)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._lower = _dispatch.get_kernel("prec.lower_trisolve", self.backend)
+        self._upper = _dispatch.get_kernel("prec.upper_trisolve", self.backend)
+        with self.tracer.span("prec.setup", kind="ilu0", storage=storage):
+            self._factorize(a)
+
+    def _factorize(self, a: CSRMatrix) -> None:
+        n = self.n
+        # canonicalize to column-sorted rows so "entries left of the
+        # diagonal" is a prefix of each row
+        rows = a._rows
+        order = np.lexsort((a.indices, rows))
+        cols_arr = np.asarray(a.indices, dtype=np.int64)[order]
+        vals_arr = np.asarray(a.data, dtype=np.float64)[order]
+        ip = a.indptr.tolist()
+        cols = cols_arr.tolist()
+        lu = vals_arr.tolist()
+        pos = [-1] * n
+        diag_pos = [-1] * n
+        for i in range(n):
+            s, e = ip[i], ip[i + 1]
+            for k in range(s, e):
+                pos[cols[k]] = k
+            for kk in range(s, e):
+                j = cols[kk]
+                if j >= i:
+                    break
+                dp = diag_pos[j]
+                f = lu[kk] / lu[dp]
+                lu[kk] = f
+                for t in range(dp + 1, ip[j + 1]):
+                    p = pos[cols[t]]
+                    if p >= 0:
+                        lu[p] = lu[p] - f * lu[t]
+            dpi = -1
+            for k in range(s, e):
+                if cols[k] == i:
+                    dpi = k
+                    break
+            if dpi < 0 or lu[dpi] == 0.0:
+                for k in range(s, e):
+                    pos[cols[k]] = -1
+                raise ZeroPivotError(i)
+            diag_pos[i] = dpi
+            for k in range(s, e):
+                pos[cols[k]] = -1
+        l_ip, l_cols, l_vals = [0], [], []
+        u_ip, u_cols, u_vals = [0], [], []
+        udiag = []
+        for i in range(n):
+            for k in range(ip[i], diag_pos[i]):
+                l_cols.append(cols[k])
+                l_vals.append(lu[k])
+            l_ip.append(len(l_cols))
+            udiag.append(lu[diag_pos[i]])
+            for k in range(diag_pos[i] + 1, ip[i + 1]):
+                u_cols.append(cols[k])
+                u_vals.append(lu[k])
+            u_ip.append(len(u_cols))
+        self._l_indptr = np.asarray(l_ip, dtype=np.int64)
+        self._l_indices = np.asarray(l_cols, dtype=np.int64)
+        self._u_indptr = np.asarray(u_ip, dtype=np.int64)
+        self._u_indices = np.asarray(u_cols, dtype=np.int64)
+        self._l_acc = self._store(np.asarray(l_vals, dtype=np.float64))
+        self._u_acc = self._store(np.asarray(u_vals, dtype=np.float64))
+        self._d_acc = self._store(np.asarray(udiag, dtype=np.float64))
+
+    def _store(self, values: np.ndarray):
+        if values.size == 0:
+            return None
+        limit = _storage_limit(self.storage)
+        acc = make_accessor(self.storage, values.size, backend=self.backend)
+        acc.write(np.clip(values, -limit, limit))
+        return acc
+
+    @staticmethod
+    def _read(acc) -> np.ndarray:
+        return acc.read() if acc is not None else np.empty(0, dtype=np.float64)
+
+    @property
+    def nnz(self) -> int:
+        """Stored factor values: strict-L + strict-U + the U diagonal."""
+        return int(self._l_indices.size + self._u_indices.size + self.n)
+
+    @property
+    def stored_nbytes(self) -> int:
+        """Bytes the factor values occupy (pattern arrays excluded)."""
+        return int(
+            sum(
+                acc.stored_nbytes()
+                for acc in (self._l_acc, self._u_acc, self._d_acc)
+                if acc is not None
+            )
+        )
+
+    @property
+    def float64_nbytes(self) -> int:
+        return 8 * self.nnz
+
+    def cost_info(self) -> Dict[str, Any]:
+        return {
+            "kind": "ilu0",
+            "storage": self.storage,
+            "stored_bytes": self.stored_nbytes,
+            "float64_bytes": self.float64_nbytes,
+            "entries": self.nnz,
+        }
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        if v.shape != (self.n,):
+            raise ValueError(f"expected vector of length {self.n}")
+        with self.tracer.span("prec.apply", kind="ilu0", storage=self.storage):
+            y = self._lower(
+                self._l_indptr, self._l_indices, self._read(self._l_acc), v
+            )
+            out = self._upper(
+                self._u_indptr,
+                self._u_indices,
+                self._read(self._u_acc),
+                self._read(self._d_acc),
+                y,
+            )
+        self.tracer.count("prec.applies", 1)
+        self.tracer.count("prec.apply.bytes", self.stored_nbytes + 16 * self.n)
+        return out
+
+
+def make_preconditioner(
+    name: str,
+    a: CSRMatrix,
+    storage: str = "float64",
+    block_size: int = 8,
+    backend: Optional[str] = None,
+    tracer=None,
+) -> Preconditioner:
+    """Build a preconditioner by CLI name.
+
+    ``name`` is one of :data:`PRECONDITIONERS`; ``storage`` (one of
+    :data:`PREC_STORAGES`) selects the value-storage ladder and is
+    ignored by ``none`` and ``jacobi`` (a diagonal is too small to be
+    worth compressing).
+    """
+    if name not in PRECONDITIONERS:
+        raise PreconditionerError(
+            f"unknown preconditioner {name!r}; expected one of {PRECONDITIONERS}"
+        )
+    if storage not in PREC_STORAGES:
+        raise PreconditionerError(
+            f"unknown prec storage {storage!r}; expected one of {PREC_STORAGES}"
+        )
+    if name == "none":
+        return IdentityPreconditioner()
+    if name == "jacobi":
+        return JacobiPreconditioner(a, tracer=tracer)
+    if name == "block_jacobi":
+        return BlockJacobiPreconditioner(
+            a, block_size=block_size, storage=storage, backend=backend, tracer=tracer
+        )
+    return ILU0Preconditioner(a, storage=storage, backend=backend, tracer=tracer)

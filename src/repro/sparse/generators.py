@@ -49,6 +49,9 @@ __all__ = [
     "parabolic_fem_2d",
     "scaled_reactive_flow",
     "porous_media_3d",
+    "aniso_jump_3d",
+    "convection_dominated_3d",
+    "bem_dense_blocks",
 ]
 
 
@@ -344,3 +347,145 @@ def porous_media_3d(
     mask = srng.random(core.shape[0]) < frac
     dr = np.where(mask, spike, 1.0)
     return core.scale_rows_cols(dr, 1.0 / dr)
+
+
+# ----------------------------------------------------------------------
+# preconditioning-tier scenarios: problems where *unpreconditioned*
+# GMRES stagnates (they are not Table I analogs — the paper's suite is
+# chosen to converge unpreconditioned, Section V-C — but exercising
+# M^-1 needs matrices where the iteration count is the bottleneck)
+# ----------------------------------------------------------------------
+
+
+def aniso_jump_3d(
+    nx: int,
+    ny: int,
+    nz: int,
+    contrast: float = 1e4,
+    aniso: "tuple[float, float, float]" = (1.0, 0.02, 0.02),
+    slab: int = 4,
+    shift: float = 1e-6,
+    name: str = "aniso_jump",
+) -> CSRMatrix:
+    """Anisotropic diffusion with slab-jumping coefficients.
+
+    The permeability jumps between 1 and ``contrast`` across slabs of
+    ``slab`` grid planes in x (harmonic-mean face coefficients), and the
+    y/z conductivities are scaled down by ``aniso`` — the classic
+    jumping-coefficient + anisotropy combination whose small eigenvalues
+    scale like ``aniso/contrast``.  Unpreconditioned GMRES stagnates for
+    hundreds of iterations per digit; ILU(0) captures the strong
+    x-coupling and restores mesh-like convergence.
+    """
+    rng = rng_for(name)
+    _, i, j, k = _grid_index_3d(nx, ny, nz)
+    kfield = np.where((i // max(slab, 1)) % 2 == 0, 1.0, float(contrast))
+    # per-plane wobble so slabs are not exactly self-similar
+    kfield = kfield * (1.0 + 0.1 * rng.random(nx)[i])
+    offsets = {}
+    center = np.zeros((nx, ny, nz))
+    axes = (("xm", "xp"), ("ym", "yp"), ("zm", "zp"))
+    for ax, (mname, pname) in enumerate(axes):
+        a = aniso[ax]
+        shm = np.roll(kfield, 1, ax)
+        shp = np.roll(kfield, -1, ax)
+        fm = a * 2.0 * kfield * shm / (kfield + shm)
+        fp = a * 2.0 * kfield * shp / (kfield + shp)
+        offsets[mname] = -fm
+        offsets[pname] = -fp
+        center = center + fm + fp
+    return stencil_3d(nx, ny, nz, center + shift, offsets)
+
+
+def convection_dominated_3d(
+    nx: int,
+    ny: int,
+    nz: int,
+    peclet: float = 10.0,
+    shift: float = 0.01,
+    name: str = "conv_dom",
+) -> CSRMatrix:
+    """Convection-dominated recirculating flow (cell Peclet > 1).
+
+    Central differencing of ``-lap(u) + v . grad(u)`` with a cell Peclet
+    number above 1 flips the downstream stencil coefficients positive,
+    destroying diagonal dominance and the M-matrix property; the
+    velocity field recirculates (x-velocity varies with y and vice
+    versa) so no reordering makes the operator triangular-ish.  The
+    resulting highly nonnormal spectrum stalls unpreconditioned GMRES;
+    ILU(0) follows the flow like an upwind sweep and collapses the
+    iteration count.
+    """
+    _, i, j, k = _grid_index_3d(nx, ny, nz)
+    px = peclet * np.cos(2 * np.pi * j / max(ny, 1))
+    py = peclet * np.sin(2 * np.pi * i / max(nx, 1))
+    pz = 0.4 * peclet * np.cos(2 * np.pi * k / max(nz, 1))
+    offsets = {
+        "xm": -(1.0 + px),
+        "xp": -(1.0 - px),
+        "ym": -(1.0 + py),
+        "yp": -(1.0 - py),
+        "zm": -(1.0 + pz),
+        "zp": -(1.0 - pz),
+    }
+    return stencil_3d(nx, ny, nz, 6.0 + shift, offsets)
+
+
+def bem_dense_blocks(
+    n: int,
+    block: int = 32,
+    decay: float = 0.5,
+    far_diags: int = 8,
+    coupling: float = 0.1,
+    strength_range: float = 5.0,
+    name: str = "bem_dense",
+) -> CSRMatrix:
+    """First-kind boundary-integral-style operator with dense panels.
+
+    Discretizes a smoothing kernel ``K(i, j) = 1 / (1 + |i - j|)^decay``
+    the way fast BEM codes store it: panels of ``block`` unknowns
+    interact densely (near field) while distinct panels couple through
+    ``far_diags`` banded far-field diagonals per side, damped by
+    ``coupling``.  A first-kind operator has no identity part, so its
+    singular values decay toward zero; on top of that, panel strengths
+    vary log-uniformly over ``2^(+-strength_range)`` (mimicking wildly
+    non-uniform panel sizes), and the combination stalls
+    unpreconditioned GMRES.  Block-Jacobi over the panels inverts the
+    dominant near-field — strength contrast included — and converges.
+    """
+    if block < 1 or n < block:
+        raise ValueError("need block >= 1 and n >= block")
+    rng = rng_for(name)
+    nb = -(-n // block)
+    idx = np.arange(n)
+    panel = idx // block
+    strength = np.exp2(rng.uniform(-strength_range, strength_range, nb))[panel]
+    rows, cols, data = [], [], []
+    # near field: dense panel blocks of the kernel
+    oi, oj = np.meshgrid(np.arange(block), np.arange(block), indexing="ij")
+    kern = 1.0 / (1.0 + np.abs(oi - oj).astype(float)) ** decay
+    for b in range(nb):
+        lo = b * block
+        hi = min(lo + block, n)
+        m = hi - lo
+        r = (lo + oi[:m, :m]).ravel()
+        c = (lo + oj[:m, :m]).ravel()
+        rows.append(r)
+        cols.append(c)
+        data.append((kern[:m, :m] * strength[lo]).ravel())
+    # far field: banded panel-to-panel couplings, kernel-decayed and
+    # scaled by the *row* panel's strength so every row's far field is
+    # O(coupling) relative to its own near-field block
+    for d in range(1, far_diags + 1):
+        sep = d * block
+        src = idx[idx + sep < n]
+        kval = coupling / (1.0 + sep) ** decay
+        rows.extend([src, src + sep])
+        cols.extend([src + sep, src])
+        data.extend([kval * strength[src], kval * strength[src + sep]])
+    return COOMatrix(
+        (n, n),
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(data),
+    ).to_csr()

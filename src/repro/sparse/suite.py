@@ -189,9 +189,50 @@ _register(MatrixSpec(
     description="porous media flow, log-normal permeability",
 ))
 
+# -- preconditioning scenarios (not Table I: the paper's suite converges
+# unpreconditioned by design, Section V-C; these stall without M^-1).
+# The "paper" metadata records the default-scale operator since there
+# is no SuiteSparse original.
+_register(MatrixSpec(
+    name="aniso_jump",
+    paper_size=13_824,
+    paper_nnz=93_312,
+    paper_target_rrn=1.0e-8,
+    dims=_dims3((10, 10, 10), (24, 24, 24), (64, 64, 64),
+                contrast=1e6, aniso=(1.0, 0.02, 0.02), name="aniso_jump"),
+    builder=gen.aniso_jump_3d,
+    target_rrn={"smoke": 1e-8, "default": 1e-8, "paper": 1e-8},
+    description="anisotropic diffusion, slab-jumping coefficients (stalls unpreconditioned)",
+))
+_register(MatrixSpec(
+    name="conv_dom",
+    paper_size=13_824,
+    paper_nnz=93_312,
+    paper_target_rrn=1.0e-12,
+    dims=_dims3((10, 10, 10), (24, 24, 24), (64, 64, 64),
+                peclet=10.0, shift=0.01, name="conv_dom"),
+    builder=gen.convection_dominated_3d,
+    target_rrn={"smoke": 1e-12, "default": 1e-12, "paper": 1e-12},
+    description="convection-dominated recirculating flow (stalls unpreconditioned)",
+))
+_register(MatrixSpec(
+    name="bem_dense",
+    paper_size=8_192,
+    paper_nnz=390_912,
+    paper_target_rrn=1.0e-7,
+    dims={
+        "smoke": {"n": 1_024},
+        "default": {"n": 8_192},
+        "paper": {"n": 32_768},
+    },
+    builder=gen.bem_dense_blocks,
+    target_rrn={"smoke": 1e-7, "default": 1e-7, "paper": 1e-7},
+    description="boundary-integral panels, dense blocks (stalls unpreconditioned)",
+))
+
 
 def suite_names() -> List[str]:
-    """Matrix names in Table I order."""
+    """Matrix names: Table I order, then the preconditioning scenarios."""
     return [
         "atmosmodd",
         "atmosmodj",
@@ -204,6 +245,9 @@ def suite_names() -> List[str]:
         "PR02R",
         "RM07R",
         "StocF-1465",
+        "aniso_jump",
+        "conv_dom",
+        "bem_dense",
     ]
 
 

@@ -48,6 +48,38 @@ class TestCommands:
     def test_solve_with_jacobi(self, capsys):
         assert main(["solve", "lung2", "--jacobi"]) == 0
 
+    def test_jacobi_flag_is_alias_for_preconditioner_choice(self, capsys):
+        assert main(["solve", "lung2", "--jacobi"]) == 0
+        out = capsys.readouterr().out
+        assert "preconditioner: jacobi" in out
+
+    def test_solve_with_ilu0(self, capsys):
+        assert main(["solve", "lung2", "--preconditioner", "ilu0"]) == 0
+        out = capsys.readouterr().out
+        assert "preconditioner: ilu0" in out
+        assert "converged" in out
+
+    def test_solve_with_compressed_block_jacobi(self, capsys):
+        rc = main([
+            "solve", "lung2",
+            "--preconditioner", "block_jacobi",
+            "--prec-storage", "frsz2_16",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "frsz2_16" in out
+
+    def test_preconditioner_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "lung2", "--preconditioner", "amg"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "lung2", "--prec-storage", "int8"])
+
+    def test_preconditioner_defaults(self):
+        args = build_parser().parse_args(["solve", "atmosmodd"])
+        assert args.preconditioner == "none"
+        assert args.prec_storage == "float64"
+
     def test_compress_random(self, capsys):
         assert main(["compress", "--format", "frsz2_16", "--n", "1000"]) == 0
         out = capsys.readouterr().out

@@ -47,12 +47,24 @@ REQUIRED_PAGES = {
     "docs/EXPERIMENTS.md": (
         "--storage adaptive",
         "### `--backend` — numpy vs jit-compiled kernels",
+        "### `--preconditioner` — the compressed preconditioning tier",
+    ),
+    "docs/PRECONDITIONING.md": (
+        "## Right preconditioning in Fig. 1",
+        "## The factor-storage ladder",
+        "## Stagnating scenarios",
+        "## Bench tier and the v6 schema",
     ),
 }
 
 #: page -> markdown files that must link to it
 REQUIRED_INBOUND_LINKS = {
     "docs/PRECISION.md": ("README.md", "docs/ARCHITECTURE.md"),
+    "docs/PRECONDITIONING.md": (
+        "README.md",
+        "docs/ARCHITECTURE.md",
+        "docs/EXPERIMENTS.md",
+    ),
 }
 
 

@@ -125,10 +125,41 @@ class TestPorousMedia:
         assert np.linalg.cond(a) < 1e14  # still float64-solvable
 
 
+class TestPrecScenarios:
+    """The preconditioning-tier generators: hard but solvable."""
+
+    def test_aniso_jump_is_deterministic_and_nonsingular(self):
+        a = gen.aniso_jump_3d(6, 6, 6, name="t")
+        b = gen.aniso_jump_3d(6, 6, 6, name="t")
+        assert np.array_equal(a.data, b.data)
+        dense = a.to_dense()
+        assert np.isfinite(np.linalg.cond(dense))
+        assert np.linalg.cond(dense) > 1e3  # genuinely ill-conditioned
+
+    def test_aniso_jump_contrast_raises_conditioning(self):
+        lo = gen.aniso_jump_3d(6, 6, 6, contrast=1e1, name="t").to_dense()
+        hi = gen.aniso_jump_3d(6, 6, 6, contrast=1e4, name="t").to_dense()
+        assert np.linalg.cond(hi) > np.linalg.cond(lo)
+
+    def test_convection_dominated_is_nonsymmetric(self):
+        a = gen.convection_dominated_3d(6, 6, 6).to_dense()
+        assert not np.allclose(a, a.T)
+        assert np.isfinite(np.linalg.cond(a))
+
+    def test_bem_dense_blocks_structure(self):
+        a = gen.bem_dense_blocks(128, block=16)
+        # every row holds its full near-field panel plus far couplings
+        row_nnz = np.diff(a.indptr)
+        assert row_nnz.min() >= 16
+        assert np.isfinite(np.linalg.cond(a.to_dense()))
+
+
 class TestSuite:
-    def test_suite_has_all_eleven_matrices(self):
-        assert len(suite_names()) == 11
+    def test_suite_has_table1_plus_prec_scenarios(self):
+        # 11 Table I analogs + 3 preconditioning-tier scenarios
+        assert len(suite_names()) == 14
         assert set(suite_names()) == set(SUITE)
+        assert {"aniso_jump", "conv_dom", "bem_dense"} <= set(SUITE)
 
     def test_paper_metadata_matches_table1(self):
         assert SUITE["atmosmodd"].paper_size == 1_270_432

@@ -69,6 +69,8 @@ class TestDispatch:
             "spmv.csr_matvec", "spmv.ell_matvec", "spmv.sell_group_matvec",
             "fused.dot_basis", "fused.combine", "fused.axpy", "fused.norm",
             "fused.dot_basis_batch", "fused.axpy_batch",
+            "prec.lower_trisolve", "prec.upper_trisolve",
+            "prec.block_diag_apply",
         } <= names
 
     def test_unavailable_jit_degrades_with_named_warning(self, monkeypatch):
@@ -209,6 +211,33 @@ class TestSolveBitIdentity:
         assert ref.iterations == alt.iterations
         assert ref.final_rrn == alt.final_rrn
 
+    @pytest.mark.parametrize("prec_name,prec_storage", [
+        ("jacobi", "float64"),
+        ("block_jacobi", "frsz2_16"),
+        ("ilu0", "float64"),
+        ("ilu0", "frsz2_32"),
+    ])
+    @pytest.mark.parametrize("basis_mode", ["cached", "streaming"])
+    def test_preconditioned_solve_matches_numpy(
+        self, problem, backend, prec_name, prec_storage, basis_mode
+    ):
+        from repro.solvers import make_preconditioner
+
+        def run(b):
+            prec = make_preconditioner(
+                prec_name, problem.a, storage=prec_storage, backend=b
+            )
+            return CbGmres(
+                problem.a, "frsz2_32", m=30, max_iter=300,
+                basis_mode=basis_mode, backend=b, preconditioner=prec,
+            ).solve(problem.b, problem.target_rrn)
+
+        ref, alt = run("numpy"), run(backend)
+        assert np.array_equal(ref.x, alt.x)
+        assert ref.iterations == alt.iterations
+        assert [(s.iteration, s.rrn) for s in ref.history] == \
+            [(s.iteration, s.rrn) for s in alt.history]
+
     def test_solve_batch_matches_numpy(self, problem, backend):
         rng = np.random.default_rng(17)
         B = np.stack(
@@ -227,6 +256,63 @@ class TestSolveBitIdentity:
             assert np.array_equal(r.x, a.x)
             assert r.iterations == a.iterations
             assert r.final_rrn == a.final_rrn
+
+
+@requires_jit
+def test_trisolve_kernels_match_numpy_bitwise():
+    """The triangular-solve bit-identity suite: the jit engine's
+    sequential sweeps must replay the pure-Python reference
+    recurrence exactly (multiply-then-subtract rounding order)."""
+    from repro.solvers import prec_kernels
+
+    rng = np.random.default_rng(42)
+    n = 211
+    rows = [
+        np.unique(rng.integers(0, i, min(5, i)))
+        if i else np.empty(0, np.int64)
+        for i in range(n)
+    ]
+    ip = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum([r.size for r in rows], out=ip[1:])
+    cols = np.concatenate(rows).astype(np.int64)
+    vals = rng.standard_normal(cols.size) * np.exp2(
+        rng.integers(-40, 40, cols.size).astype(float)
+    )
+    b = rng.standard_normal(n)
+    lower_np = dispatch.get_kernel("prec.lower_trisolve", "numpy")
+    lower_jit = dispatch.get_kernel("prec.lower_trisolve", "jit")
+    np.testing.assert_array_equal(
+        np.asarray(lower_np(ip, cols, vals, b)).view(np.uint64),
+        np.asarray(lower_jit(ip, cols, vals, b)).view(np.uint64),
+    )
+    udiag = rng.standard_normal(n) + 2.0 * np.sign(
+        rng.standard_normal(n)
+    )
+    urows = [
+        np.unique(rng.integers(i + 1, n, min(5, n - 1 - i)))
+        if i < n - 1 else np.empty(0, np.int64)
+        for i in range(n)
+    ]
+    uip = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum([r.size for r in urows], out=uip[1:])
+    ucols = np.concatenate(urows).astype(np.int64)
+    uvals = rng.standard_normal(ucols.size)
+    upper_np = dispatch.get_kernel("prec.upper_trisolve", "numpy")
+    upper_jit = dispatch.get_kernel("prec.upper_trisolve", "jit")
+    np.testing.assert_array_equal(
+        np.asarray(upper_np(uip, ucols, uvals, udiag, b)).view(np.uint64),
+        np.asarray(upper_jit(uip, ucols, uvals, udiag, b)).view(np.uint64),
+    )
+    for bs in (8, 5):
+        nb = -(-n // bs)
+        blocks = rng.standard_normal(nb * bs * bs)
+        bd_np = dispatch.get_kernel("prec.block_diag_apply", "numpy")
+        bd_jit = dispatch.get_kernel("prec.block_diag_apply", "jit")
+        np.testing.assert_array_equal(
+            np.asarray(bd_np(blocks, b, bs, n)).view(np.uint64),
+            np.asarray(bd_jit(blocks, b, bs, n)).view(np.uint64),
+        )
+    assert prec_kernels is not None
 
 
 # ----------------------------------------------------------------------

@@ -2,12 +2,21 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.observe import Tracer
 from repro.solvers import (
+    PREC_STORAGES,
+    PRECONDITIONERS,
     BlockJacobiPreconditioner,
     CbGmres,
     IdentityPreconditioner,
+    ILU0Preconditioner,
     JacobiPreconditioner,
+    PreconditionerError,
+    ZeroPivotError,
+    make_preconditioner,
     make_problem,
 )
 from repro.sparse import COOMatrix
@@ -128,6 +137,175 @@ class TestBlockJacobi:
         p = BlockJacobiPreconditioner(a, 4)
         with pytest.raises(ValueError):
             p.apply(np.ones(9))
+
+
+def tridiag(n=30, lo=-1.0, di=4.0, hi=-2.0):
+    """Tridiagonal test matrix; its ILU(0) is the *exact* LU (no fill)."""
+    rows = np.concatenate([np.arange(n), np.arange(1, n), np.arange(n - 1)])
+    cols = np.concatenate([np.arange(n), np.arange(n - 1), np.arange(1, n)])
+    data = np.concatenate([np.full(n, di), np.full(n - 1, lo), np.full(n - 1, hi)])
+    return COOMatrix((n, n), rows, cols, data).to_csr()
+
+
+class TestIlu0:
+    def test_exact_for_fill_free_pattern(self):
+        # tridiagonal: ILU(0) == full LU, so M^-1 A v == v to rounding
+        a = tridiag(25)
+        p = ILU0Preconditioner(a)
+        rng = np.random.default_rng(12)
+        v = rng.standard_normal(25)
+        recovered = p.apply(a.matvec(v))
+        assert np.allclose(recovered, v, rtol=1e-12)
+
+    def test_gmres_converges_in_one_restart_on_fill_free_matrix(self):
+        a = tridiag(64)
+        rng = np.random.default_rng(13)
+        x_true = rng.standard_normal(64)
+        res = CbGmres(a, preconditioner=ILU0Preconditioner(a)).solve(
+            a.matvec(x_true), 1e-12
+        )
+        assert res.converged
+        assert res.iterations <= 3
+        assert np.linalg.norm(res.x - x_true) / np.linalg.norm(x_true) < 1e-9
+
+    def test_factors_match_dense_ilu_on_spd(self):
+        a, _, _ = spd_system(n=14, seed=14)
+        p = ILU0Preconditioner(a)
+        # the (dense) pattern here is full, so ILU(0) is plain LU
+        dense = a.to_dense()
+        v = np.random.default_rng(15).standard_normal(14)
+        assert np.allclose(p.apply(v), np.linalg.solve(dense, v), rtol=1e-9)
+
+    def test_zero_pivot_raises_named_row(self):
+        # row 1 has no diagonal entry -> structural zero pivot
+        a = COOMatrix((3, 3), [0, 1, 2], [0, 0, 2], [1.0, 1.0, 1.0]).to_csr()
+        with pytest.raises(ZeroPivotError) as err:
+            ILU0Preconditioner(a)
+        assert err.value.row == 1
+        assert isinstance(err.value, PreconditionerError)
+        assert isinstance(err.value, ValueError)
+
+    def test_exact_zero_pivot_raises(self):
+        a = COOMatrix(
+            (2, 2), [0, 0, 1, 1], [0, 1, 0, 1], [1.0, 1.0, 1.0, 1.0]
+        ).to_csr()
+        # elimination: u_11 = 1 - 1*1 = 0
+        with pytest.raises(ZeroPivotError) as err:
+            ILU0Preconditioner(a)
+        assert err.value.row == 1
+
+    def test_storage_ladder_byte_ratios(self):
+        a, _, _ = spd_system(n=32, seed=16)
+        sizes = {
+            s: ILU0Preconditioner(a, storage=s).stored_nbytes
+            for s in ("float64", "float32", "frsz2_32", "frsz2_16")
+        }
+        assert sizes["float32"] == sizes["float64"] // 2
+        assert sizes["frsz2_32"] < sizes["float64"]
+        assert sizes["frsz2_16"] < sizes["frsz2_32"]
+        info = ILU0Preconditioner(a, storage="frsz2_16").cost_info()
+        assert info["float64_bytes"] == sizes["float64"]
+        assert info["stored_bytes"] == sizes["frsz2_16"]
+
+    def test_compressed_factors_still_precondition(self):
+        a = tridiag(48)
+        rng = np.random.default_rng(17)
+        b = a.matvec(rng.standard_normal(48))
+        for storage in ("frsz2_32", "frsz2_16"):
+            res = CbGmres(
+                a, preconditioner=ILU0Preconditioner(a, storage=storage)
+            ).solve(b, 1e-10)
+            assert res.converged
+
+    def test_nonsquare_rejected(self):
+        a = COOMatrix((2, 3), [0, 1], [0, 1], [1.0, 1.0]).to_csr()
+        with pytest.raises(ValueError):
+            ILU0Preconditioner(a)
+
+    def test_unknown_storage_rejected(self):
+        a = tridiag(4)
+        with pytest.raises(PreconditionerError):
+            ILU0Preconditioner(a, storage="int8")
+
+
+class TestMakePreconditioner:
+    def test_choices_cover_cli_names(self):
+        assert PRECONDITIONERS == ("none", "jacobi", "block_jacobi", "ilu0")
+        assert PREC_STORAGES == ("float64", "float32", "frsz2_32", "frsz2_16")
+
+    def test_builds_each_kind(self):
+        a, _, _ = spd_system(n=16, seed=18)
+        assert make_preconditioner("none", a).is_identity
+        assert isinstance(make_preconditioner("jacobi", a), JacobiPreconditioner)
+        assert isinstance(
+            make_preconditioner("block_jacobi", a, storage="frsz2_16"),
+            BlockJacobiPreconditioner,
+        )
+        assert isinstance(
+            make_preconditioner("ilu0", a, storage="frsz2_32"), ILU0Preconditioner
+        )
+
+    def test_unknown_name_and_storage_rejected(self):
+        a, _, _ = spd_system(n=8, seed=19)
+        with pytest.raises(PreconditionerError):
+            make_preconditioner("amg", a)
+        with pytest.raises(PreconditionerError):
+            make_preconditioner("ilu0", a, storage="float128")
+
+    def test_tracer_counts_applies_and_bytes(self):
+        a, _, _ = spd_system(n=16, seed=20)
+        tracer = Tracer()
+        p = make_preconditioner("ilu0", a, tracer=tracer)
+        v = np.ones(16)
+        p.apply(v)
+        p.apply(v)
+        assert tracer.counters["prec.applies"] == 2
+        assert tracer.counters["prec.apply.bytes"] == 2 * (p.stored_nbytes + 16 * 16)
+        assert tracer.total_seconds("prec.setup") > 0.0
+        assert tracer.total_seconds("prec.apply") > 0.0
+
+    def test_attach_tracer_does_not_clobber_constructor_tracer(self):
+        a, _, _ = spd_system(n=8, seed=21)
+        mine = Tracer()
+        p = make_preconditioner("jacobi", a, tracer=mine)
+        p.attach_tracer(Tracer())
+        p.apply(np.ones(8))
+        assert mine.counters["prec.applies"] == 1
+
+
+class TestFrsz2BlockJacobiDefaultGrid:
+    def test_frsz2_16_block_jacobi_converges_on_default_lung2(self):
+        """The headline compressed-preconditioner claim: 16-bit FRSZ2
+        block factors keep convergence on the default-scale grid."""
+        p = make_problem("lung2", "default")
+        prec = BlockJacobiPreconditioner(p.a, block_size=8, storage="frsz2_16")
+        res = CbGmres(p.a, "frsz2_32", preconditioner=prec).solve(
+            p.b, p.target_rrn
+        )
+        assert res.converged
+        assert prec.stored_nbytes < prec.float64_nbytes / 3
+
+
+class TestBlockSizeFuzz:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        block_size=st.integers(min_value=1, max_value=23),
+        n=st.integers(min_value=3, max_value=40),
+        storage=st.sampled_from(PREC_STORAGES),
+    )
+    def test_block_jacobi_any_block_size_is_finite_and_close(
+        self, block_size, n, storage
+    ):
+        a, _, _ = spd_system(n=n, seed=22)
+        p = BlockJacobiPreconditioner(a, block_size=block_size, storage=storage)
+        ref = BlockJacobiPreconditioner(a, block_size=block_size)
+        v = np.random.default_rng(23).standard_normal(n)
+        out = p.apply(v)
+        assert out.shape == (n,)
+        assert np.all(np.isfinite(out))
+        # the ladder perturbs, it must not distort: frsz2_16 keeps ~2
+        # decimal digits on these well-scaled blocks
+        assert np.allclose(out, ref.apply(v), rtol=5e-2, atol=5e-2)
 
 
 class TestPreconditionedSolver:
